@@ -1,0 +1,67 @@
+//! End-to-end figure benchmarks: one scaled-down sweep point per paper
+//! figure, timing a full simulation run per algorithm. These keep `cargo
+//! bench` fast while exercising exactly the code paths the `reproduce`
+//! binary uses at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use watter::runner::{run_algorithm, Algo};
+use watter_workload::{CityProfile, Scenario, ScenarioParams};
+
+fn small_scenario(profile: CityProfile) -> Scenario {
+    let mut p = ScenarioParams::default_for(profile);
+    p.n_orders = 200;
+    p.n_workers = 40;
+    p.city_side = 14;
+    Scenario::build(p)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let cdc = small_scenario(CityProfile::Chengdu);
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    // Figure 3/4 default point: one run per algorithm (the paper's
+    // running-time rows are exactly these wall-clock measurements).
+    g.bench_function("fig3_point_gdp", |b| {
+        b.iter(|| run_algorithm(&cdc, Algo::Gdp))
+    });
+    g.bench_function("fig3_point_gas", |b| {
+        b.iter(|| run_algorithm(&cdc, Algo::Gas))
+    });
+    g.bench_function("fig3_point_watter_online", |b| {
+        b.iter(|| run_algorithm(&cdc, Algo::WatterOnline))
+    });
+    g.bench_function("fig3_point_watter_timeout", |b| {
+        b.iter(|| run_algorithm(&cdc, Algo::WatterTimeout))
+    });
+    g.bench_function("fig3_point_watter_const", |b| {
+        b.iter(|| run_algorithm(&cdc, Algo::WatterConstant(150.0)))
+    });
+    // Figure 5 end points (τ sweep extremes).
+    for tau in [1.2f64, 1.8] {
+        let mut p = ScenarioParams::default_for(CityProfile::Chengdu);
+        p.n_orders = 200;
+        p.n_workers = 40;
+        p.city_side = 14;
+        p.deadline_scale = tau;
+        let s = Scenario::build(p);
+        g.bench_function(format!("fig5_tau{tau}_watter_online"), |b| {
+            b.iter(|| run_algorithm(&s, Algo::WatterOnline))
+        });
+    }
+    // Figure 6 end points (capacity extremes).
+    for kw in [2u32, 5] {
+        let mut p = ScenarioParams::default_for(CityProfile::Chengdu);
+        p.n_orders = 200;
+        p.n_workers = 40;
+        p.city_side = 14;
+        p.max_capacity = kw;
+        let s = Scenario::build(p);
+        g.bench_function(format!("fig6_kw{kw}_watter_online"), |b| {
+            b.iter(|| run_algorithm(&s, Algo::WatterOnline))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

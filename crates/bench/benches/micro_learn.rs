@@ -1,0 +1,56 @@
+//! Learning-component micro-benchmarks: GMM fitting, threshold
+//! optimization and value-network inference — the overhead WATTER-expect
+//! pays per decision (visible in the paper's running-time row).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use watter_learn::{gmm::Component, mlp::AdamConfig, optimal_threshold, Gmm, Mlp, StateFeaturizer};
+use watter_road::{CityConfig, GridIndex};
+
+fn bench_learn(c: &mut Criterion) {
+    let truth = Gmm::new(vec![
+        Component {
+            weight: 0.6,
+            mean: 120.0,
+            var: 900.0,
+        },
+        Component {
+            weight: 0.4,
+            mean: 420.0,
+            var: 3600.0,
+        },
+    ]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let data: Vec<f64> = (0..2000).map(|_| truth.sample(&mut rng)).collect();
+
+    let mut g = c.benchmark_group("learn");
+    g.bench_function("gmm_fit_2000x3", |b| {
+        b.iter(|| Gmm::fit(black_box(&data), 3, 25))
+    });
+    let gmm = Gmm::fit(&data, 3, 25);
+    g.bench_function("optimal_threshold", |b| {
+        b.iter(|| optimal_threshold(black_box(600.0), &gmm))
+    });
+
+    let city = CityConfig {
+        width: 24,
+        height: 24,
+        ..CityConfig::default()
+    }
+    .generate(7);
+    let feat = StateFeaturizer::new(GridIndex::build(&city, 10), 10);
+    let net = Mlp::new(&[feat.dim(), 64, 32], AdamConfig::default(), 1);
+    let x = vec![0.1f32; feat.dim()];
+    g.bench_function("value_net_forward_502", |b| {
+        b.iter(|| net.predict(black_box(&x)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_learn
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Order-pool micro-benchmarks: route planning, pair-edge insertion,
+//! clique enumeration and the GDP insertion operator — the inner loops of
+//! the paper's running-time comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use watter_baselines::insertion::Schedule;
+use watter_core::{NodeId, OrderId};
+use watter_pool::{plan_min_cost, OrderPool, PlanLimits, PoolConfig};
+use watter_workload::{CityProfile, Scenario, ScenarioParams};
+
+fn scenario() -> Scenario {
+    let mut p = ScenarioParams::default_for(CityProfile::Chengdu);
+    p.n_orders = 300;
+    p.n_workers = 30;
+    Scenario::build(p)
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let s = scenario();
+    let orders = &s.orders;
+    let oracle = s.oracle.as_ref();
+    let limits = PlanLimits { capacity: 4 };
+
+    let mut g = c.benchmark_group("pool");
+    g.bench_function("plan_route_pair", |b| {
+        let now = orders[0].release.min(orders[1].release);
+        b.iter(|| plan_min_cost(black_box(&[&orders[0], &orders[1]]), now, limits, oracle))
+    });
+    g.bench_function("plan_route_quad", |b| {
+        let group: Vec<&watter_core::Order> = orders[0..4].iter().collect();
+        let now = group.iter().map(|o| o.release).min().unwrap();
+        b.iter(|| plan_min_cost(black_box(&group), now, limits, oracle))
+    });
+    g.bench_function("pool_insert_100", |b| {
+        b.iter(|| {
+            let mut pool = OrderPool::new(PoolConfig {
+                limits,
+                ..PoolConfig::default()
+            });
+            for o in &orders[..100] {
+                pool.insert(o.clone(), o.release, &oracle);
+            }
+            black_box(pool.len())
+        })
+    });
+    g.bench_function("gdp_insertion_scan", |b| {
+        let mut sched = Schedule::idle(NodeId(0), 0, 4);
+        for o in &orders[..3] {
+            if let Some(ins) = sched.best_insertion(o, 0, &oracle) {
+                sched.apply_insertion(o.clone(), ins, 0, &oracle);
+            }
+        }
+        let probe = &orders[10];
+        b.iter(|| sched.best_insertion(black_box(probe), 0, &oracle))
+    });
+    let _ = OrderId(0);
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pool
+}
+criterion_main!(benches);

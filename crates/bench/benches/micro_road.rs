@@ -1,0 +1,48 @@
+//! Road-substrate micro-benchmarks: shortest paths, APSP construction,
+//! grid-index queries — the operations behind every `cost()` call in the
+//! framework.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use watter::prelude::*;
+use watter_core::NodeId;
+use watter_road::{dijkstra, GridIndex};
+
+fn bench_road(c: &mut Criterion) {
+    let city = CityConfig {
+        width: 24,
+        height: 24,
+        ..CityConfig::default()
+    }
+    .generate(7);
+    let matrix = CostMatrix::build(&city);
+    let grid = GridIndex::build(&city, 10);
+    let far = NodeId((city.node_count() - 1) as u32);
+
+    let mut g = c.benchmark_group("road");
+    g.bench_function("dijkstra_point_to_point_24x24", |b| {
+        b.iter(|| dijkstra::shortest_path_cost(&city, black_box(NodeId(0)), black_box(far)))
+    });
+    g.bench_function("apsp_lookup", |b| {
+        b.iter(|| watter_core::TravelCost::cost(&matrix, black_box(NodeId(17)), black_box(far)))
+    });
+    g.bench_function("apsp_build_12x12", |b| {
+        let small = CityConfig {
+            width: 12,
+            height: 12,
+            ..CityConfig::default()
+        }
+        .generate(7);
+        b.iter(|| CostMatrix::build(black_box(&small)))
+    });
+    g.bench_function("grid_cell_of", |b| {
+        b.iter(|| grid.cell_of(black_box(NodeId(123))))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_road
+}
+criterion_main!(benches);

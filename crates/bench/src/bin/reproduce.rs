@@ -1,0 +1,119 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p watter-bench --release --bin reproduce -- [exp] [scale]
+//! ```
+//!
+//! `exp` ∈ {example1, fig3, fig4, fig5, fig6, eta, dt, grid, omega, all};
+//! `scale` shrinks order/worker counts (default 1.0). Results are printed
+//! as tables and written to `results/<exp>.json`.
+
+use std::path::PathBuf;
+use watter_bench::{experiments, print_table, write_json};
+
+fn results_path(name: &str) -> PathBuf {
+    PathBuf::from("results").join(format!("{name}.json"))
+}
+
+fn run_figure(name: &str, title: &str, f: impl FnOnce() -> Vec<watter_bench::ExperimentRow>) {
+    let t0 = std::time::Instant::now();
+    let rows = f();
+    print_table(title, &rows);
+    write_json(&results_path(name), &rows).expect("write results");
+    eprintln!("[{name}] done in {:.1}s -> results/{name}.json", t0.elapsed().as_secs_f64());
+}
+
+fn example1() {
+    println!("\n## Example 1 (Figure 1 + Table I): worker travel (minutes)");
+    println!("{:<22} {:>10} {:>12}", "strategy", "total", "route-only");
+    let mut totals = Vec::new();
+    for which in ["nonshare", "gdp", "gas", "watter"] {
+        let (total, route) = experiments::example1::total_travel_minutes(which);
+        println!("{:<22} {:>10.1} {:>12.1}", which, total, route);
+        totals.push((which.to_string(), total, route));
+    }
+    write_json(&results_path("example1"), &totals).expect("write results");
+}
+
+fn omega(scale: f64) {
+    let (rows, curves) = experiments::appendix_omega(scale);
+    print_table("Appendix C/E: loss weight ω (CDC)", &rows);
+    println!("\ntraining-loss curves (first→last, downsampled):");
+    for (omega, losses) in &curves {
+        let step = (losses.len() / 8).max(1);
+        let pts: Vec<String> = losses
+            .iter()
+            .step_by(step)
+            .map(|l| format!("{l:.0}"))
+            .collect();
+        println!("  ω={omega:<5} {}", pts.join(" → "));
+    }
+    write_json(&results_path("omega"), &rows).expect("write results");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let exp = args.get(1).map(|s| s.as_str()).unwrap_or("all");
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    match exp {
+        "example1" => example1(),
+        "fig3" => run_figure("fig3", "Figure 3: varying number of riders n", || {
+            experiments::fig3(scale)
+        }),
+        "fig4" => run_figure("fig4", "Figure 4: varying number of workers m", || {
+            experiments::fig4(scale)
+        }),
+        "fig5" => run_figure("fig5", "Figure 5: varying deadline scale τ", || {
+            experiments::fig5(scale)
+        }),
+        "fig6" => run_figure("fig6", "Figure 6: varying max capacity Kw", || {
+            experiments::fig6(scale)
+        }),
+        "eta" => run_figure("eta", "Appendix D: watching window η (CDC)", || {
+            experiments::appendix_eta(scale)
+        }),
+        "dt" => run_figure("dt", "Appendix F: check period Δt (CDC)", || {
+            experiments::appendix_dt(scale)
+        }),
+        "grid" => run_figure("grid", "Appendix G: grid dimension g (CDC)", || {
+            experiments::appendix_grid(scale)
+        }),
+        "omega" => omega(scale),
+        "ablations" => run_figure("ablations", "Ablations: clique fan-out, demand correlation, cancellation", || {
+            experiments::ablations(scale)
+        }),
+        "all" => {
+            example1();
+            run_figure("fig3", "Figure 3: varying number of riders n", || {
+                experiments::fig3(scale)
+            });
+            run_figure("fig4", "Figure 4: varying number of workers m", || {
+                experiments::fig4(scale)
+            });
+            run_figure("fig5", "Figure 5: varying deadline scale τ", || {
+                experiments::fig5(scale)
+            });
+            run_figure("fig6", "Figure 6: varying max capacity Kw", || {
+                experiments::fig6(scale)
+            });
+            run_figure("eta", "Appendix D: watching window η (CDC)", || {
+                experiments::appendix_eta(scale)
+            });
+            run_figure("dt", "Appendix F: check period Δt (CDC)", || {
+                experiments::appendix_dt(scale)
+            });
+            run_figure("grid", "Appendix G: grid dimension g (CDC)", || {
+                experiments::appendix_grid(scale)
+            });
+            omega(scale);
+            run_figure("ablations", "Ablations: clique fan-out, demand correlation, cancellation", || {
+                experiments::ablations(scale)
+            });
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|all");
+            std::process::exit(2);
+        }
+    }
+}

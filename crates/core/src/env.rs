@@ -1,0 +1,76 @@
+//! Spatio-temporal environment snapshot (Section VI-A, *State*).
+//!
+//! The MDP state of an order-agent combines its **basic features** (pick-up /
+//! drop-off grid cells, release and waited time slots) with **environmental
+//! features**: the current demand distribution (pick-up and drop-off cells of
+//! pooled orders, `s_O`) and the supply distribution of idle workers per
+//! cell (`s_W`). The simulator publishes an [`EnvSnapshot`] at every check
+//! so that learned threshold providers can featurize without reaching into
+//! simulator internals.
+
+use serde::{Deserialize, Serialize};
+
+/// Demand/supply counts over the `g × g` grid index at one instant.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnvSnapshot {
+    /// Grid dimension `g` (the paper uses a 10 × 10 index by default).
+    pub grid_dim: usize,
+    /// Per-cell count of pick-up locations of orders currently pooled.
+    pub demand_pickup: Vec<u32>,
+    /// Per-cell count of drop-off locations of orders currently pooled.
+    pub demand_dropoff: Vec<u32>,
+    /// Per-cell count of currently idle workers.
+    pub supply: Vec<u32>,
+}
+
+impl EnvSnapshot {
+    /// An all-zero snapshot for a `g × g` grid.
+    pub fn empty(grid_dim: usize) -> Self {
+        let cells = grid_dim * grid_dim;
+        Self {
+            grid_dim,
+            demand_pickup: vec![0; cells],
+            demand_dropoff: vec![0; cells],
+            supply: vec![0; cells],
+        }
+    }
+
+    /// Number of grid cells.
+    #[inline]
+    pub fn cells(&self) -> usize {
+        self.grid_dim * self.grid_dim
+    }
+
+    /// Total pooled demand (orders waiting).
+    pub fn total_demand(&self) -> u32 {
+        self.demand_pickup.iter().sum()
+    }
+
+    /// Total idle supply (workers free).
+    pub fn total_supply(&self) -> u32 {
+        self.supply.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = EnvSnapshot::empty(10);
+        assert_eq!(s.cells(), 100);
+        assert_eq!(s.demand_pickup.len(), 100);
+        assert_eq!(s.total_demand(), 0);
+        assert_eq!(s.total_supply(), 0);
+    }
+
+    #[test]
+    fn totals_sum_cells() {
+        let mut s = EnvSnapshot::empty(2);
+        s.demand_pickup = vec![1, 2, 3, 4];
+        s.supply = vec![0, 5, 0, 0];
+        assert_eq!(s.total_demand(), 10);
+        assert_eq!(s.total_supply(), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by the core model and its consumers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A route failed constraint validation.
+    InfeasibleRoute(String),
+    /// Referenced an order unknown to the component.
+    UnknownOrder(crate::OrderId),
+    /// Referenced a worker unknown to the component.
+    UnknownWorker(crate::WorkerId),
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InfeasibleRoute(msg) => write!(f, "infeasible route: {msg}"),
+            CoreError::UnknownOrder(id) => write!(f, "unknown order {id}"),
+            CoreError::UnknownWorker(id) => write!(f, "unknown worker {id}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CoreError::UnknownOrder(crate::OrderId(3));
+        assert_eq!(e.to_string(), "unknown order o3");
+        let e = CoreError::InvalidConfig("grid_dim = 0".into());
+        assert!(e.to_string().contains("grid_dim"));
+    }
+}

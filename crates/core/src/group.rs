@@ -1,0 +1,234 @@
+//! Order groups.
+//!
+//! A group `g = {o(1), …, o(|g|)}` is a set of orders served together on one
+//! route by one worker. [`Group`] carries the orders, the planned route and
+//! the per-order detours, and can evaluate the quantities Algorithm 2 needs:
+//! the group's **average extra time** and its **expiry** `τ_g` (Equation 3).
+
+use crate::ids::OrderId;
+use crate::objective::CostWeights;
+use crate::order::Order;
+use crate::route::Route;
+use crate::time::{Dur, Ts};
+use crate::TravelCost;
+use serde::{Deserialize, Serialize};
+
+/// A shareable order group with its planned minimal-cost feasible route.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// Orders in the group, in pick-up order of the route.
+    pub orders: Vec<Order>,
+    /// The minimal-cost feasible route found by the planner.
+    pub route: Route,
+    /// Detour time `t_d^(i)` of each order, aligned with `orders`.
+    pub detours: Vec<Dur>,
+}
+
+/// The decision-relevant quality numbers of a group at a point in time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupQuality {
+    /// Mean extra time `t̄_e` over the group's orders (Algorithm 2 line 4).
+    pub mean_extra_time: f64,
+    /// Earliest watching-window timeout among the group's orders
+    /// (Algorithm 2 line 1).
+    pub earliest_timeout: Ts,
+    /// Group expiry `τ_g`: the latest dispatch instant that still satisfies
+    /// every deadline (Equation 3 rearranged to an absolute timestamp).
+    pub expires_at: Ts,
+}
+
+impl Group {
+    /// Build a group, computing detours from the route.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if some order's drop-off is missing from the
+    /// route — planners must only emit complete routes.
+    pub fn new(orders: Vec<Order>, route: Route, oracle: &impl TravelCost) -> Self {
+        let detours = orders
+            .iter()
+            .map(|o| {
+                route
+                    .detour(o.id, o.direct_cost, oracle)
+                    .expect("route must visit every group order")
+            })
+            .collect();
+        Self {
+            orders,
+            route,
+            detours,
+        }
+    }
+
+    /// Number of orders `|g|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Whether the group is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.orders.is_empty()
+    }
+
+    /// Ids of the member orders.
+    pub fn order_ids(&self) -> impl Iterator<Item = OrderId> + '_ {
+        self.orders.iter().map(|o| o.id)
+    }
+
+    /// Whether `id` is a member.
+    pub fn contains(&self, id: OrderId) -> bool {
+        self.orders.iter().any(|o| o.id == id)
+    }
+
+    /// Total riders in the group.
+    pub fn total_riders(&self) -> u32 {
+        self.orders.iter().map(|o| o.riders).sum()
+    }
+
+    /// Extra time `t_e^(i) = α·t_d + β·t_r` of member `i` if the group is
+    /// dispatched at `now` (Definition 6).
+    pub fn extra_time_of(&self, idx: usize, now: Ts, w: CostWeights) -> f64 {
+        let o = &self.orders[idx];
+        w.extra_time(self.detours[idx], o.response_at(now))
+    }
+
+    /// Mean extra time `t̄_e` over members if dispatched at `now`.
+    pub fn mean_extra_time(&self, now: Ts, w: CostWeights) -> f64 {
+        if self.orders.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = (0..self.orders.len())
+            .map(|i| self.extra_time_of(i, now, w))
+            .sum();
+        sum / self.orders.len() as f64
+    }
+
+    /// Latest dispatch timestamp such that every member still meets its
+    /// deadline. Dispatching at `expires_at` is the last feasible instant
+    /// (the constraint is strict, so feasibility holds while
+    /// `now < expires_at` … `now ≤ expires_at − 1`; we return the inclusive
+    /// last feasible instant).
+    pub fn expires_at(&self, oracle: &impl TravelCost) -> Ts {
+        self.orders
+            .iter()
+            .map(|o| {
+                let sub = self
+                    .route
+                    .subroute_cost(o.id, oracle)
+                    .expect("route must visit every group order");
+                // now + sub < τ  ⇔  now ≤ τ − sub − 1
+                o.deadline - sub - 1
+            })
+            .min()
+            .unwrap_or(Ts::MAX)
+    }
+
+    /// Earliest watching-window timeout among members (Algorithm 2 line 1).
+    pub fn earliest_timeout(&self) -> Ts {
+        self.orders
+            .iter()
+            .map(|o| o.timeout_at())
+            .min()
+            .unwrap_or(Ts::MAX)
+    }
+
+    /// Evaluate the group's decision-relevant quality at `now`.
+    pub fn quality(&self, now: Ts, w: CostWeights, oracle: &impl TravelCost) -> GroupQuality {
+        GroupQuality {
+            mean_extra_time: self.mean_extra_time(now, w),
+            earliest_timeout: self.earliest_timeout(),
+            expires_at: self.expires_at(oracle),
+        }
+    }
+
+    /// Whether the group can still be feasibly dispatched at `now`.
+    pub fn is_live(&self, now: Ts, oracle: &impl TravelCost) -> bool {
+        now <= self.expires_at(oracle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::route::Stop;
+
+    struct Line;
+    impl TravelCost for Line {
+        fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+            (a.0 as i64 - b.0 as i64).abs() * 10
+        }
+    }
+
+    fn order(id: u32, p: u32, d: u32, release: Ts, deadline: Ts) -> Order {
+        Order {
+            id: OrderId(id),
+            pickup: NodeId(p),
+            dropoff: NodeId(d),
+            riders: 1,
+            release,
+            deadline,
+            wait_limit: 100,
+            direct_cost: Line.cost(NodeId(p), NodeId(d)),
+        }
+    }
+
+    fn group() -> Group {
+        let o0 = order(0, 0, 3, 0, 1_000);
+        let o1 = order(1, 1, 2, 20, 500);
+        let route = Route::new(
+            vec![
+                Stop::pickup(NodeId(0), OrderId(0)),
+                Stop::pickup(NodeId(1), OrderId(1)),
+                Stop::dropoff(NodeId(2), OrderId(1)),
+                Stop::dropoff(NodeId(3), OrderId(0)),
+            ],
+            &Line,
+        );
+        Group::new(vec![o0, o1], route, &Line)
+    }
+
+    #[test]
+    fn detours_computed() {
+        let g = group();
+        assert_eq!(g.detours, vec![0, 10]);
+    }
+
+    #[test]
+    fn mean_extra_time_at_dispatch() {
+        let g = group();
+        let w = CostWeights::default();
+        // at now=20: o0 tr=20 td=0 -> 20 ; o1 tr=0 td=10 -> 10 ; mean 15
+        assert!((g.mean_extra_time(20, w) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expiry_is_min_over_members() {
+        let g = group();
+        // o0: 1000 - 30 - 1 = 969 ; o1: 500 - 20 - 1 = 479
+        assert_eq!(g.expires_at(&Line), 479);
+        assert!(g.is_live(479, &Line));
+        assert!(!g.is_live(480, &Line));
+    }
+
+    #[test]
+    fn earliest_timeout_is_min() {
+        let g = group();
+        assert_eq!(g.earliest_timeout(), 100); // o0 releases at 0 + 100
+    }
+
+    #[test]
+    fn quality_bundles_fields() {
+        let g = group();
+        let q = g.quality(20, CostWeights::default(), &Line);
+        assert_eq!(q.earliest_timeout, 100);
+        assert_eq!(q.expires_at, 479);
+        assert!((q.mean_extra_time - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_riders_sums() {
+        assert_eq!(group().total_riders(), 2);
+    }
+}

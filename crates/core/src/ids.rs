@@ -1,0 +1,93 @@
+//! Strongly-typed identifiers.
+//!
+//! Orders, workers and road-network nodes all use `u32` indices internally
+//! (dense, cache-friendly), but the newtypes prevent accidentally indexing a
+//! worker table with an order id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense `usize` index.
+            ///
+            /// # Panics
+            /// Panics if the index does not fit in `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("id index overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an order `o(i)` (paper Definition 1).
+    OrderId,
+    "o"
+);
+id_type!(
+    /// Identifier of a worker `w(j)` (paper Definition 2).
+    WorkerId,
+    "w"
+);
+id_type!(
+    /// Identifier of a node (location) on the road network.
+    NodeId,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = OrderId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, OrderId(42));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(OrderId(3).to_string(), "o3");
+        assert_eq!(WorkerId(4).to_string(), "w4");
+        assert_eq!(NodeId(5).to_string(), "v5");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(OrderId(1) < OrderId(2));
+    }
+}

@@ -1,0 +1,77 @@
+//! # watter-core
+//!
+//! Problem model for the **Minimal Extra Time RideSharing (METRS)** problem
+//! from *"Wait to be Faster: A Smart Pooling Framework for Dynamic
+//! Ridesharing"* (ICDE 2024).
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`Order`], [`Worker`] — the two actor types (paper Definitions 1–2),
+//! * [`Route`] and [`Stop`] — ordered location sequences (Definition 3),
+//! * [`Group`] — a set of orders served together by one worker,
+//! * [`constraints`] — the three shareability constraints of Definition 7
+//!   (sequential, deadline, capacity),
+//! * [`objective`] — extra time (Definition 6) and the METRS objective Φ
+//!   (Equation 2),
+//! * [`metrics`] — the four evaluation measurements of Section VII
+//!   (Extra Time, Unified Cost, Service Rate, Running Time),
+//! * [`EnvSnapshot`] — the spatio-temporal demand/supply state consumed by
+//!   the learning components (Section VI-A).
+//!
+//! The crate is dependency-light by design: it knows nothing about road
+//! networks (see `watter-road`) beyond the opaque [`NodeId`] location handle
+//! and the [`TravelCost`] oracle trait.
+
+pub mod constraints;
+pub mod env;
+pub mod error;
+pub mod group;
+pub mod ids;
+pub mod metrics;
+pub mod objective;
+pub mod order;
+pub mod route;
+pub mod time;
+pub mod worker;
+
+pub use constraints::{CapacityCheck, ConstraintViolation};
+pub use env::EnvSnapshot;
+pub use error::CoreError;
+pub use group::{Group, GroupQuality};
+pub use ids::{NodeId, OrderId, WorkerId};
+pub use metrics::{Measurements, OrderOutcome, RunStats};
+pub use objective::{extra_time, CostWeights};
+pub use order::Order;
+pub use route::{Route, Stop, StopKind};
+pub use time::{Dur, Ts};
+pub use worker::Worker;
+
+/// Oracle for shortest-travel-time queries between two road-network nodes.
+///
+/// The paper writes `cost(l_i, l_j)` for the shortest travel time between two
+/// locations (Table II). Everything in the framework is expressed against
+/// this trait so that the pooling and dispatch logic is independent of how
+/// the road substrate answers the query (exact all-pairs table, on-demand
+/// Dijkstra, ...).
+pub trait TravelCost {
+    /// Shortest travel time in seconds from `a` to `b`.
+    fn cost(&self, a: NodeId, b: NodeId) -> Dur;
+
+    /// Total travel time of a node sequence, i.e. `T(L)` of Definition 3.
+    fn path_cost(&self, nodes: &[NodeId]) -> Dur {
+        nodes.windows(2).map(|w| self.cost(w[0], w[1])).sum()
+    }
+}
+
+impl<T: TravelCost + ?Sized> TravelCost for &T {
+    fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+        (**self).cost(a, b)
+    }
+}
+
+impl<T: TravelCost + ?Sized> TravelCost for std::sync::Arc<T> {
+    fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+        (**self).cost(a, b)
+    }
+}

@@ -1,0 +1,42 @@
+//! Workers (paper Definition 2).
+//!
+//! `w(j) = ⟨l, k, a⟩`: current location, vehicle capacity and availability.
+//! The static part (identity, capacity, initial location) lives here; the
+//! mutable runtime state (current location, busy-until) is owned by the
+//! simulator's fleet module.
+
+use crate::ids::{NodeId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// A driver/vehicle. Per the paper's assumption, a worker delivers **one
+/// order group at a time** and becomes idle at the group's final drop-off.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Worker identifier.
+    pub id: WorkerId,
+    /// Initial location at the start of the day.
+    pub home: NodeId,
+    /// Vehicle capacity `k^(j)`: maximum riders on board at any instant.
+    pub capacity: u32,
+}
+
+impl Worker {
+    /// Convenience constructor.
+    pub fn new(id: WorkerId, home: NodeId, capacity: u32) -> Self {
+        debug_assert!(capacity >= 1, "a vehicle must seat at least one rider");
+        Self { id, home, capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_stores_fields() {
+        let w = Worker::new(WorkerId(7), NodeId(3), 4);
+        assert_eq!(w.id, WorkerId(7));
+        assert_eq!(w.home, NodeId(3));
+        assert_eq!(w.capacity, 4);
+    }
+}

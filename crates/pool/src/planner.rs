@@ -1,0 +1,361 @@
+//! Minimal-cost feasible route planning.
+//!
+//! Given a candidate group of orders and a dispatch instant, find the
+//! ordered stop sequence with the smallest total travel time `T(L)` that
+//! satisfies Definition 7:
+//!
+//! 1. every pick-up precedes its drop-off,
+//! 2. `now + T(L^(i)) < τ^(i)` for every order `i`,
+//! 3. riders on board never exceed the vehicle capacity.
+//!
+//! Following the paper's model, `T(L)` is measured from the route's first
+//! stop `l_1`; the worker's approach drive is charged separately by the
+//! simulator.
+//!
+//! The search is branch-and-bound over stop interleavings with two prunes:
+//! cost-so-far ≥ incumbent, and a shortest-path lower bound on each
+//! not-yet-dropped order's remaining leg versus its deadline. Group sizes
+//! are small (≤ vehicle capacity, ≤ 5 in all experiments), so the search is
+//! a few hundred states at worst.
+
+use watter_core::{Dur, Order, Route, Stop, Ts, TravelCost};
+
+/// Hard limits for the planner.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanLimits {
+    /// Vehicle capacity (constraint 3). Groups whose concurrent riders
+    /// exceed this are infeasible.
+    pub capacity: u32,
+}
+
+impl Default for PlanLimits {
+    fn default() -> Self {
+        Self { capacity: 4 }
+    }
+}
+
+/// Stop encoding used during search: order index ×2, +1 for drop-off.
+#[inline]
+fn is_dropoff(code: u8) -> bool {
+    code & 1 == 1
+}
+#[inline]
+fn order_of(code: u8) -> usize {
+    (code >> 1) as usize
+}
+
+struct Search<'a, C: TravelCost> {
+    orders: &'a [&'a Order],
+    oracle: &'a C,
+    now: Ts,
+    capacity: u32,
+    /// Fixed route origin (worker location) whose approach leg counts into
+    /// both cost and deadlines; `None` for the paper's free-start model.
+    start: Option<watter_core::NodeId>,
+    best_cost: Dur,
+    best_seq: Vec<u8>,
+    seq: Vec<u8>,
+}
+
+impl<C: TravelCost> Search<'_, C> {
+    fn node_of(&self, code: u8) -> watter_core::NodeId {
+        let o = self.orders[order_of(code)];
+        if is_dropoff(code) {
+            o.dropoff
+        } else {
+            o.pickup
+        }
+    }
+
+    /// `picked`/`dropped` are bitmasks over order indices.
+    fn recurse(&mut self, picked: u32, dropped: u32, elapsed: Dur, onboard: u32) {
+        let k = self.orders.len() as u32;
+        if dropped.count_ones() == k {
+            if elapsed < self.best_cost {
+                self.best_cost = elapsed;
+                self.best_seq = self.seq.clone();
+            }
+            return;
+        }
+        if elapsed >= self.best_cost {
+            return;
+        }
+        let cur = self.seq.last().map(|&c| self.node_of(c)).or(self.start);
+        // Lower-bound prune: every picked-but-not-dropped order still needs
+        // at least cost(cur, dropoff) more seconds.
+        if let Some(cur) = cur {
+            for i in 0..self.orders.len() {
+                let bit = 1u32 << i;
+                if picked & bit != 0 && dropped & bit == 0 {
+                    let o = self.orders[i];
+                    let lb = self.oracle.cost(cur, o.dropoff);
+                    if self.now + elapsed + lb >= o.deadline {
+                        return;
+                    }
+                }
+            }
+        }
+        for i in 0..self.orders.len() {
+            let bit = 1u32 << i;
+            let o = self.orders[i];
+            if picked & bit == 0 {
+                // try picking up order i
+                let new_onboard = onboard + o.riders;
+                if new_onboard > self.capacity {
+                    continue;
+                }
+                let leg = cur.map_or(0, |c| self.oracle.cost(c, o.pickup));
+                // Even reaching the pick-up must leave room to meet the
+                // deadline via the direct leg.
+                let new_elapsed = elapsed + leg;
+                if self.now + new_elapsed + o.direct_cost >= o.deadline {
+                    continue;
+                }
+                self.seq.push((i as u8) << 1);
+                self.recurse(picked | bit, dropped, new_elapsed, new_onboard);
+                self.seq.pop();
+            } else if dropped & bit == 0 {
+                // try dropping off order i
+                let leg = cur.map_or(0, |c| self.oracle.cost(c, o.dropoff));
+                let new_elapsed = elapsed + leg;
+                if self.now + new_elapsed >= o.deadline {
+                    continue;
+                }
+                self.seq.push(((i as u8) << 1) | 1);
+                self.recurse(picked, dropped | bit, new_elapsed, onboard - o.riders);
+                self.seq.pop();
+            }
+        }
+    }
+}
+
+/// Find the minimal-travel-cost feasible route for `orders` dispatched at
+/// `now`, or `None` if no interleaving satisfies all constraints.
+///
+/// Routes start at one of the pick-ups (the paper's `l_1`); the cost of the
+/// worker's approach drive is *not* part of `T(L)`.
+pub fn plan_min_cost<C: TravelCost>(
+    orders: &[&Order],
+    now: Ts,
+    limits: PlanLimits,
+    oracle: &C,
+) -> Option<Route> {
+    plan_impl(None, orders, now, limits, oracle).map(|(route, _)| route)
+}
+
+/// Like [`plan_min_cost`] but the route starts from a fixed node (a
+/// worker's current location), and the approach leg **is** counted both in
+/// the total cost and in the deadline checks. Used by the GDP/GAS baselines
+/// whose source papers model the worker position explicitly.
+///
+/// Returns the route (whose `cost()` still measures `T(L)` from the first
+/// stop) together with the total cost including the approach drive.
+pub fn plan_with_start<C: TravelCost>(
+    start: watter_core::NodeId,
+    orders: &[&Order],
+    now: Ts,
+    limits: PlanLimits,
+    oracle: &C,
+) -> Option<(Route, Dur)> {
+    plan_impl(Some(start), orders, now, limits, oracle)
+}
+
+fn plan_impl<C: TravelCost>(
+    start: Option<watter_core::NodeId>,
+    orders: &[&Order],
+    now: Ts,
+    limits: PlanLimits,
+    oracle: &C,
+) -> Option<(Route, Dur)> {
+    if orders.is_empty() || orders.len() > 16 {
+        return None;
+    }
+    // Quick reject: a single order exceeding capacity can never be served.
+    if orders.iter().any(|o| o.riders > limits.capacity) {
+        return None;
+    }
+    let mut s = Search {
+        orders,
+        oracle,
+        now,
+        capacity: limits.capacity,
+        start,
+        best_cost: Dur::MAX / 4,
+        best_seq: Vec::new(),
+        seq: Vec::with_capacity(orders.len() * 2),
+    };
+    s.recurse(0, 0, 0, 0);
+    if s.best_seq.is_empty() {
+        return None;
+    }
+    let stops: Vec<Stop> = s
+        .best_seq
+        .iter()
+        .map(|&code| {
+            let o = orders[order_of(code)];
+            if is_dropoff(code) {
+                Stop::dropoff(o.dropoff, o.id)
+            } else {
+                Stop::pickup(o.pickup, o.id)
+            }
+        })
+        .collect();
+    let total = s.best_cost;
+    // `best_cost` includes the approach leg when a start node was given;
+    // `Route::cost()` must measure T(L) from the first stop only.
+    let route_cost = match (start, stops.first()) {
+        (Some(st), Some(first)) => total - oracle.cost(st, first.node),
+        _ => total,
+    };
+    Some((Route::with_cost(stops, route_cost, oracle), total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watter_core::{NodeId, OrderId};
+
+    /// 1-D metric: |a−b| × 10 s.
+    struct Line;
+    impl TravelCost for Line {
+        fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+            (a.0 as i64 - b.0 as i64).abs() * 10
+        }
+    }
+
+    fn order(id: u32, p: u32, d: u32, deadline: Ts) -> Order {
+        Order {
+            id: OrderId(id),
+            pickup: NodeId(p),
+            dropoff: NodeId(d),
+            riders: 1,
+            release: 0,
+            deadline,
+            wait_limit: 1_000,
+            direct_cost: Line.cost(NodeId(p), NodeId(d)),
+        }
+    }
+
+    #[test]
+    fn single_order_route_is_direct() {
+        let o = order(0, 2, 7, 10_000);
+        let r = plan_min_cost(&[&o], 0, PlanLimits::default(), &Line).unwrap();
+        assert_eq!(r.cost(), 50);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn nested_orders_share_optimally() {
+        // o0: 0→10, o1: 4→6 nested inside. Optimal: p0 p1 d1 d0 cost 100.
+        let o0 = order(0, 0, 10, 100_000);
+        let o1 = order(1, 4, 6, 100_000);
+        let r = plan_min_cost(&[&o0, &o1], 0, PlanLimits::default(), &Line).unwrap();
+        assert_eq!(r.cost(), 100);
+        assert_eq!(r.detour(OrderId(0), 100, &Line), Some(0));
+        // Definition 5 measures L^(i) from the route's first stop, so o1's
+        // "detour" includes the 40 s ride-along before boarding at node 4.
+        assert_eq!(r.detour(OrderId(1), 20, &Line), Some(40));
+    }
+
+    #[test]
+    fn deadline_forces_nonoptimal_or_none() {
+        // o1 must be dropped quickly; tight deadline excludes serving o0 first.
+        let o0 = order(0, 0, 10, 100_000);
+        let o1 = order(1, 0, 2, 25); // direct 20, slack 5 — barely feasible alone
+        let r = plan_min_cost(&[&o0, &o1], 0, PlanLimits::default(), &Line).unwrap();
+        // must start at the shared pickup and drop o1 first
+        assert_eq!(r.stops()[1].order, OrderId(1));
+    }
+
+    #[test]
+    fn infeasible_deadline_returns_none() {
+        let o0 = order(0, 0, 10, 50); // direct 100 > deadline 50
+        assert!(plan_min_cost(&[&o0], 0, PlanLimits::default(), &Line).is_none());
+    }
+
+    #[test]
+    fn capacity_blocks_overlapping_pickups() {
+        // Two 1-rider orders, capacity 1: must serve sequentially.
+        let o0 = order(0, 0, 10, 100_000);
+        let o1 = order(1, 1, 9, 100_000);
+        let limits = PlanLimits { capacity: 1 };
+        let r = plan_min_cost(&[&o0, &o1], 0, limits, &Line).unwrap();
+        // sequential service: p0 d0 p1 d1 or p1 d1 p0 d0
+        let seq: Vec<_> = r.stops().iter().map(|s| (s.order, s.kind)).collect();
+        use watter_core::StopKind::*;
+        assert!(
+            seq == vec![
+                (OrderId(0), Pickup),
+                (OrderId(0), Dropoff),
+                (OrderId(1), Pickup),
+                (OrderId(1), Dropoff)
+            ] || seq
+                == vec![
+                    (OrderId(1), Pickup),
+                    (OrderId(1), Dropoff),
+                    (OrderId(0), Pickup),
+                    (OrderId(0), Dropoff)
+                ]
+        );
+    }
+
+    #[test]
+    fn dispatch_time_shifts_feasibility() {
+        let o = order(0, 0, 5, 100); // direct 50, deadline 100
+        assert!(plan_min_cost(&[&o], 0, PlanLimits::default(), &Line).is_some());
+        assert!(plan_min_cost(&[&o], 49, PlanLimits::default(), &Line).is_some());
+        // now=50: 50+50 = 100 ≥ 100 → infeasible (strict)
+        assert!(plan_min_cost(&[&o], 50, PlanLimits::default(), &Line).is_none());
+    }
+
+    #[test]
+    fn three_orders_chain() {
+        let o0 = order(0, 0, 4, 100_000);
+        let o1 = order(1, 1, 5, 100_000);
+        let o2 = order(2, 2, 6, 100_000);
+        let r = plan_min_cost(&[&o0, &o1, &o2], 0, PlanLimits::default(), &Line).unwrap();
+        // optimal chain: p0 p1 p2 d0 d1 d2 = 60
+        assert_eq!(r.cost(), 60);
+        assert!(r.is_sequential());
+    }
+
+    #[test]
+    fn route_respects_capacity_with_multi_rider_orders() {
+        let mut o0 = order(0, 0, 10, 100_000);
+        o0.riders = 3;
+        let mut o1 = order(1, 2, 8, 100_000);
+        o1.riders = 2;
+        let limits = PlanLimits { capacity: 4 };
+        let r = plan_min_cost(&[&o0, &o1], 0, limits, &Line).unwrap();
+        assert!(r.peak_load(|id| if id == OrderId(0) { 3 } else { 2 }) <= 4);
+    }
+
+    #[test]
+    fn oversized_single_order_is_rejected() {
+        let mut o = order(0, 0, 5, 100_000);
+        o.riders = 9;
+        assert!(plan_min_cost(&[&o], 0, PlanLimits { capacity: 4 }, &Line).is_none());
+    }
+
+    #[test]
+    fn plan_with_start_counts_approach() {
+        let o = order(0, 5, 8, 10_000);
+        let (route, total) =
+            plan_with_start(NodeId(0), &[&o], 0, PlanLimits::default(), &Line).unwrap();
+        assert_eq!(route.cost(), 30);
+        assert_eq!(total, 50 + 30);
+    }
+
+    #[test]
+    fn plan_with_start_deadline_includes_approach() {
+        // direct 30, deadline 60: feasible only if approach ≤ 29.
+        let o = order(0, 5, 8, 60);
+        assert!(plan_with_start(NodeId(5), &[&o], 0, PlanLimits::default(), &Line).is_some());
+        assert!(plan_with_start(NodeId(0), &[&o], 0, PlanLimits::default(), &Line).is_none());
+    }
+
+    #[test]
+    fn empty_group_is_none() {
+        assert!(plan_min_cost(&[], 0, PlanLimits::default(), &Line).is_none());
+    }
+}

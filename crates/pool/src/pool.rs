@@ -1,0 +1,385 @@
+//! The order pool (Algorithm 1's data structures).
+//!
+//! [`OrderPool`] owns the temporal shareability graph and the **best-group
+//! map** `Gb`: for every pooled order, the feasible shared group (clique of
+//! size ≥ 2) with the smallest mean extra time. The map is maintained under
+//! the four update events of Section IV-B:
+//!
+//! 1. **order arrival** — the arriving order's cliques are enumerated once;
+//!    every member of an enumerated group whose mean extra time beats its
+//!    current best adopts the new group;
+//! 2. **order departure** (dispatch/rejection) — orders whose best group
+//!    contained a departed member are recomputed;
+//! 3. **edge expiry** — orders incident to expired edges revalidate;
+//! 4. **group expiry** — a best group whose `τ_g` passed is recomputed.
+//!
+//! Best-group rankings are stable over time between structural events:
+//! every pooled order's response time grows at 1 s/s, so each group's mean
+//! extra time grows at exactly `β` s/s and comparisons are time-invariant.
+//! This is what makes caching `Gb` sound.
+
+use crate::cliques::{all_groups_for, best_group_for, CliqueLimits};
+use crate::planner::PlanLimits;
+use crate::share_graph::ShareGraph;
+use std::collections::{HashMap, HashSet};
+use watter_core::{CostWeights, Group, Order, OrderId, Ts, TravelCost};
+
+/// Pool configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolConfig {
+    /// Route-planner limits (vehicle capacity ceiling).
+    pub limits: PlanLimits,
+    /// Clique enumeration bounds.
+    pub clique: CliqueLimits,
+    /// Extra-time weights (α, β).
+    pub weights: CostWeights,
+}
+
+/// Counters exposed for diagnostics and benches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Orders inserted over the pool's lifetime.
+    pub inserted: u64,
+    /// Orders removed (dispatch or rejection).
+    pub removed: u64,
+    /// Best-group recomputations triggered by update events.
+    pub recomputes: u64,
+    /// Groups enumerated during insertions.
+    pub groups_enumerated: u64,
+}
+
+/// The WATTER order pool.
+#[derive(Clone, Debug, Default)]
+pub struct OrderPool {
+    cfg: PoolConfig,
+    graph: ShareGraph,
+    best: HashMap<OrderId, Group>,
+    /// Reverse index: order → pooled orders whose best group contains it.
+    contained_in: HashMap<OrderId, HashSet<OrderId>>,
+    stats: PoolStats,
+}
+
+impl OrderPool {
+    /// Create an empty pool.
+    pub fn new(cfg: PoolConfig) -> Self {
+        Self {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// Number of pooled orders.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// The configured pool parameters.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// The underlying shareability graph (read-only).
+    pub fn graph(&self) -> &ShareGraph {
+        &self.graph
+    }
+
+    /// The pooled order with the given id.
+    pub fn order(&self, id: OrderId) -> Option<&Order> {
+        self.graph.order(id)
+    }
+
+    /// Iterate over pooled orders.
+    pub fn orders(&self) -> impl Iterator<Item = &Order> {
+        self.graph.orders()
+    }
+
+    /// The current best shared group of `id`, if any (O(1) retrieval,
+    /// Algorithm 1 lines 8–9).
+    pub fn best_group(&self, id: OrderId) -> Option<&Group> {
+        self.best.get(&id)
+    }
+
+    /// Insert an arriving order (update event 1) and maintain `Gb`.
+    pub fn insert<C: TravelCost>(&mut self, order: Order, now: Ts, oracle: &C) {
+        self.stats.inserted += 1;
+        let id = order.id;
+        self.graph.insert(order, now, self.cfg.limits, oracle);
+        let center = self
+            .graph
+            .order(id)
+            .expect("order just inserted")
+            .clone();
+        // Enumerate the arriving order's groups once; offer each to every
+        // member (the arriving order may improve neighbours' bests too).
+        let groups = all_groups_for(
+            &center,
+            &self.graph,
+            now,
+            self.cfg.limits,
+            self.cfg.clique,
+            oracle,
+        );
+        self.stats.groups_enumerated += groups.len() as u64;
+        for g in groups {
+            self.offer_group(g, now, oracle);
+        }
+    }
+
+    /// Remove orders that were dispatched together or rejected (update
+    /// event 2), recomputing bests that referenced them.
+    pub fn remove_orders<C: TravelCost>(&mut self, ids: &[OrderId], now: Ts, oracle: &C) {
+        let mut affected: HashSet<OrderId> = HashSet::new();
+        for &id in ids {
+            self.stats.removed += 1;
+            self.graph.remove(id);
+            self.best.remove(&id);
+            if let Some(holders) = self.contained_in.remove(&id) {
+                affected.extend(holders);
+            }
+        }
+        // Drop reverse-index entries pointing *from* removed ids.
+        for holders in self.contained_in.values_mut() {
+            for id in ids {
+                holders.remove(id);
+            }
+        }
+        for id in affected {
+            if self.graph.order(id).is_some() && !ids.contains(&id) {
+                self.recompute(id, now, oracle);
+            }
+        }
+    }
+
+    /// Periodic maintenance (Algorithm 1 lines 5–6): expire edges and
+    /// stale best groups (update events 3 and 4). Returns orders that can
+    /// no longer be served even solo and must be rejected by the caller.
+    pub fn maintain<C: TravelCost>(&mut self, now: Ts, oracle: &C) -> Vec<OrderId> {
+        let touched = self.graph.expire_edges(now);
+        for id in touched {
+            if self.best_is_stale(id, now) {
+                self.recompute(id, now, oracle);
+            }
+        }
+        // Group expiry: τ_g passed even though individual edges may remain.
+        let stale: Vec<OrderId> = self
+            .best
+            .iter()
+            .filter(|(_, g)| g.expires_at(oracle) < now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale {
+            self.recompute(id, now, oracle);
+        }
+        self.graph.dead_orders(now)
+    }
+
+    /// Whether `id`'s cached best group lost a member or an edge.
+    fn best_is_stale(&self, id: OrderId, now: Ts) -> bool {
+        match self.best.get(&id) {
+            None => false,
+            Some(g) => {
+                let ids: Vec<OrderId> = g.order_ids().collect();
+                // all members still pooled and pairwise connected?
+                for (i, &a) in ids.iter().enumerate() {
+                    if self.graph.order(a).is_none() {
+                        return true;
+                    }
+                    for &b in &ids[i + 1..] {
+                        if !self.graph.connected(a, b) {
+                            return true;
+                        }
+                    }
+                }
+                let _ = now;
+                false
+            }
+        }
+    }
+
+    /// Recompute an order's best group from scratch.
+    fn recompute<C: TravelCost>(&mut self, id: OrderId, now: Ts, oracle: &C) {
+        self.stats.recomputes += 1;
+        self.unlink_best(id);
+        let Some(center) = self.graph.order(id).cloned() else {
+            return;
+        };
+        if let Some(best) = best_group_for(
+            &center,
+            &self.graph,
+            now,
+            self.cfg.limits,
+            self.cfg.clique,
+            self.cfg.weights,
+            oracle,
+        ) {
+            self.link_best(id, best);
+        }
+    }
+
+    /// Offer a freshly enumerated group to each of its members.
+    fn offer_group<C: TravelCost>(&mut self, g: Group, now: Ts, oracle: &C) {
+        let _ = oracle;
+        let mean = g.mean_extra_time(now, self.cfg.weights);
+        let member_ids: Vec<OrderId> = g.order_ids().collect();
+        for &m in &member_ids {
+            let better = match self.best.get(&m) {
+                Some(cur) => mean < cur.mean_extra_time(now, self.cfg.weights),
+                None => true,
+            };
+            if better {
+                self.unlink_best(m);
+                self.link_best(m, g.clone());
+            }
+        }
+    }
+
+    fn link_best(&mut self, id: OrderId, g: Group) {
+        for m in g.order_ids() {
+            self.contained_in.entry(m).or_default().insert(id);
+        }
+        self.best.insert(id, g);
+    }
+
+    fn unlink_best(&mut self, id: OrderId) {
+        if let Some(old) = self.best.remove(&id) {
+            for m in old.order_ids() {
+                if let Some(s) = self.contained_in.get_mut(&m) {
+                    s.remove(&id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watter_core::{Dur, NodeId};
+
+    struct Line;
+    impl TravelCost for Line {
+        fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+            (a.0 as i64 - b.0 as i64).abs() * 10
+        }
+    }
+
+    fn order(id: u32, p: u32, d: u32, deadline: Ts) -> Order {
+        Order {
+            id: OrderId(id),
+            pickup: NodeId(p),
+            dropoff: NodeId(d),
+            riders: 1,
+            release: 0,
+            deadline,
+            wait_limit: 300,
+            direct_cost: Line.cost(NodeId(p), NodeId(d)),
+        }
+    }
+
+    fn pool() -> OrderPool {
+        OrderPool::new(PoolConfig {
+            limits: PlanLimits { capacity: 4 },
+            clique: CliqueLimits::default(),
+            weights: CostWeights::default(),
+        })
+    }
+
+    #[test]
+    fn arrival_updates_both_members() {
+        let mut p = pool();
+        p.insert(order(0, 0, 10, 10_000), 0, &Line);
+        assert!(p.best_group(OrderId(0)).is_none());
+        p.insert(order(1, 2, 8, 10_000), 0, &Line);
+        // Both orders now share the same best pair group.
+        let b0 = p.best_group(OrderId(0)).unwrap();
+        let b1 = p.best_group(OrderId(1)).unwrap();
+        assert_eq!(b0.len(), 2);
+        assert_eq!(b1.len(), 2);
+        assert!(b0.contains(OrderId(1)) && b1.contains(OrderId(0)));
+    }
+
+    #[test]
+    fn departure_recomputes_holders() {
+        let mut p = pool();
+        p.insert(order(0, 0, 10, 10_000), 0, &Line);
+        p.insert(order(1, 2, 8, 10_000), 0, &Line);
+        p.insert(order(2, 1, 9, 10_000), 0, &Line);
+        // dispatch the best group of o0
+        let ids: Vec<OrderId> = p.best_group(OrderId(0)).unwrap().order_ids().collect();
+        p.remove_orders(&ids, 10, &Line);
+        // survivors (if any) must not reference removed orders
+        for o in p.orders() {
+            if let Some(g) = p.best_group(o.id) {
+                for m in g.order_ids() {
+                    assert!(p.order(m).is_some(), "best group references removed {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn better_arrival_improves_existing_best() {
+        let mut p = pool();
+        p.insert(order(0, 0, 10, 10_000), 0, &Line);
+        p.insert(order(2, 4, 20, 10_000), 0, &Line); // mediocre partner
+        let before = p
+            .best_group(OrderId(0))
+            .map(|g| g.mean_extra_time(0, CostWeights::default()));
+        p.insert(order(1, 0, 10, 10_000), 0, &Line); // perfect partner
+        let after = p
+            .best_group(OrderId(0))
+            .unwrap()
+            .mean_extra_time(0, CostWeights::default());
+        assert!(after <= before.unwrap_or(f64::INFINITY));
+        assert!(p.best_group(OrderId(0)).unwrap().contains(OrderId(1)));
+    }
+
+    #[test]
+    fn maintain_flags_dead_orders() {
+        let mut p = pool();
+        p.insert(order(0, 0, 10, 200), 0, &Line); // direct 100
+        assert!(p.maintain(50, &Line).is_empty());
+        assert_eq!(p.maintain(100, &Line), vec![OrderId(0)]);
+    }
+
+    #[test]
+    fn maintain_recomputes_expired_best_groups() {
+        let mut p = pool();
+        // Pair whose joint feasibility expires at t=99 (see share_graph test).
+        p.insert(order(0, 0, 10, 200), 0, &Line);
+        p.insert(order(1, 2, 8, 500), 0, &Line);
+        assert!(p.best_group(OrderId(0)).is_some());
+        p.maintain(150, &Line);
+        // The pair expired; o1 alone keeps no shared group.
+        assert!(p.best_group(OrderId(1)).is_none());
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut p = pool();
+        p.insert(order(0, 0, 10, 10_000), 0, &Line);
+        p.insert(order(1, 2, 8, 10_000), 0, &Line);
+        p.remove_orders(&[OrderId(0)], 5, &Line);
+        let s = p.stats();
+        assert_eq!(s.inserted, 2);
+        assert_eq!(s.removed, 1);
+        assert!(s.recomputes >= 1);
+    }
+
+    #[test]
+    fn empty_pool_reports_empty() {
+        let p = pool();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+}

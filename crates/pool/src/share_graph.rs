@@ -1,0 +1,274 @@
+//! The temporal shareability graph (Definition 8).
+//!
+//! `G = (O, E)`: each pooled order is a node; an edge `(o_i, o_j, τ_e)`
+//! records that the two orders can be served together by some feasible route
+//! until timestamp `τ_e` (the pair group's expiry, Equation 3). Edges are
+//! created when an order is inserted (by running the pair planner against
+//! every live node that passes a cheap slack pre-filter) and removed lazily
+//! once expired.
+
+use crate::planner::{plan_min_cost, PlanLimits};
+use std::collections::HashMap;
+use watter_core::{Dur, Group, Order, OrderId, Ts, TravelCost};
+
+/// A shareability edge between two pooled orders.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairEdge {
+    /// Latest dispatch instant at which the pair is still jointly feasible
+    /// (`τ_e` of Definition 8; inclusive).
+    pub expires_at: Ts,
+    /// Travel cost `T(L)` of the pair's minimal-cost route, used to rank
+    /// neighbours when bounding clique enumeration.
+    pub route_cost: Dur,
+}
+
+/// Adjacency-list temporal shareability graph.
+#[derive(Clone, Debug, Default)]
+pub struct ShareGraph {
+    orders: HashMap<OrderId, Order>,
+    adj: HashMap<OrderId, HashMap<OrderId, PairEdge>>,
+}
+
+impl ShareGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pooled orders.
+    pub fn len(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.orders.is_empty()
+    }
+
+    /// Number of live edges (each undirected edge counted once).
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(|m| m.len()).sum::<usize>() / 2
+    }
+
+    /// The pooled order with the given id.
+    pub fn order(&self, id: OrderId) -> Option<&Order> {
+        self.orders.get(&id)
+    }
+
+    /// Iterate over pooled orders.
+    pub fn orders(&self) -> impl Iterator<Item = &Order> {
+        self.orders.values()
+    }
+
+    /// Ids of pooled orders.
+    pub fn order_ids(&self) -> impl Iterator<Item = OrderId> + '_ {
+        self.orders.keys().copied()
+    }
+
+    /// Neighbours of `id` with their edges.
+    pub fn neighbors(&self, id: OrderId) -> impl Iterator<Item = (OrderId, PairEdge)> + '_ {
+        self.adj
+            .get(&id)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&j, &e)| (j, e)))
+    }
+
+    /// Whether a live edge connects `a` and `b`.
+    pub fn connected(&self, a: OrderId, b: OrderId) -> bool {
+        self.adj.get(&a).is_some_and(|m| m.contains_key(&b))
+    }
+
+    /// Insert a new order at time `now`, creating shareability edges to
+    /// every live order whose pair route is feasible (Section IV-A).
+    ///
+    /// Returns the ids of the new neighbours.
+    pub fn insert<C: TravelCost>(
+        &mut self,
+        order: Order,
+        now: Ts,
+        limits: PlanLimits,
+        oracle: &C,
+    ) -> Vec<OrderId> {
+        let id = order.id;
+        debug_assert!(
+            !self.orders.contains_key(&id),
+            "order {id} inserted twice into the pool"
+        );
+        let mut new_neighbors = Vec::new();
+        for other in self.orders.values() {
+            if !pair_prefilter(&order, other, now, oracle) {
+                continue;
+            }
+            if let Some(route) = plan_min_cost(&[&order, other], now, limits, oracle) {
+                let group = Group::new(vec![order.clone(), other.clone()], route, oracle);
+                let edge = PairEdge {
+                    expires_at: group.expires_at(oracle),
+                    route_cost: group.route.cost(),
+                };
+                if edge.expires_at >= now {
+                    new_neighbors.push((other.id, edge));
+                }
+            }
+        }
+        for &(j, e) in &new_neighbors {
+            self.adj.entry(id).or_default().insert(j, e);
+            self.adj.entry(j).or_default().insert(id, e);
+        }
+        self.orders.insert(id, order);
+        new_neighbors.into_iter().map(|(j, _)| j).collect()
+    }
+
+    /// Remove an order (dispatched or rejected), dropping its edges.
+    /// Returns its former neighbours (whose best groups may need refresh).
+    pub fn remove(&mut self, id: OrderId) -> Vec<OrderId> {
+        let neighbors: Vec<OrderId> = self
+            .adj
+            .remove(&id)
+            .map(|m| m.into_keys().collect())
+            .unwrap_or_default();
+        for j in &neighbors {
+            if let Some(m) = self.adj.get_mut(j) {
+                m.remove(&id);
+            }
+        }
+        self.orders.remove(&id);
+        neighbors
+    }
+
+    /// Drop every edge whose `τ_e` has passed. Returns the endpoints of
+    /// removed edges (candidates for best-group refresh — update event (3)
+    /// of Section IV-B).
+    pub fn expire_edges(&mut self, now: Ts) -> Vec<OrderId> {
+        let mut touched = Vec::new();
+        for (&i, m) in self.adj.iter_mut() {
+            let before = m.len();
+            m.retain(|_, e| e.expires_at >= now);
+            if m.len() != before {
+                touched.push(i);
+            }
+        }
+        touched
+    }
+
+    /// Orders whose own solo feasibility has lapsed (cannot be served even
+    /// alone: `now + direct ≥ deadline`). These must be rejected.
+    pub fn dead_orders(&self, now: Ts) -> Vec<OrderId> {
+        self.orders
+            .values()
+            .filter(|o| now + o.direct_cost >= o.deadline)
+            .map(|o| o.id)
+            .collect()
+    }
+}
+
+/// Cheap necessary condition for a pair to be shareable, used to avoid
+/// running the pair planner against every pooled order.
+///
+/// Any joint route serving both orders travels at least
+/// `min(cost(p_i→p_j), cost(p_j→p_i))` between the two pick-ups, and the
+/// order picked up second then still needs its direct leg as a lower bound;
+/// if that already busts the second order's deadline in both pick-up orders,
+/// the pair is infeasible.
+fn pair_prefilter<C: TravelCost>(a: &Order, b: &Order, now: Ts, oracle: &C) -> bool {
+    let ij = oracle.cost(a.pickup, b.pickup);
+    let ji = oracle.cost(b.pickup, a.pickup);
+    // Route starting at a's pickup: b picked up after ≥ ij seconds.
+    let a_first_ok = now + ij + b.direct_cost < b.deadline && now + a.direct_cost < a.deadline;
+    // Route starting at b's pickup: a picked up after ≥ ji seconds.
+    let b_first_ok = now + ji + a.direct_cost < a.deadline && now + b.direct_cost < b.deadline;
+    a_first_ok || b_first_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watter_core::NodeId;
+
+    struct Line;
+    impl TravelCost for Line {
+        fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+            (a.0 as i64 - b.0 as i64).abs() * 10
+        }
+    }
+
+    fn order(id: u32, p: u32, d: u32, release: Ts, deadline: Ts) -> Order {
+        Order {
+            id: OrderId(id),
+            pickup: NodeId(p),
+            dropoff: NodeId(d),
+            riders: 1,
+            release,
+            deadline,
+            wait_limit: 300,
+            direct_cost: Line.cost(NodeId(p), NodeId(d)),
+        }
+    }
+
+    fn limits() -> PlanLimits {
+        PlanLimits { capacity: 4 }
+    }
+
+    #[test]
+    fn overlapping_orders_get_an_edge() {
+        let mut g = ShareGraph::new();
+        g.insert(order(0, 0, 10, 0, 10_000), 0, limits(), &Line);
+        let n = g.insert(order(1, 2, 8, 0, 10_000), 0, limits(), &Line);
+        assert_eq!(n, vec![OrderId(0)]);
+        assert!(g.connected(OrderId(0), OrderId(1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn tight_deadlines_prevent_edges() {
+        let mut g = ShareGraph::new();
+        // Opposite directions with zero slack: can only be served solo.
+        g.insert(order(0, 0, 10, 0, 101), 0, limits(), &Line);
+        let n = g.insert(order(1, 10, 0, 0, 101), 0, limits(), &Line);
+        assert!(n.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn removal_disconnects() {
+        let mut g = ShareGraph::new();
+        g.insert(order(0, 0, 10, 0, 10_000), 0, limits(), &Line);
+        g.insert(order(1, 2, 8, 0, 10_000), 0, limits(), &Line);
+        let touched = g.remove(OrderId(0));
+        assert_eq!(touched, vec![OrderId(1)]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.connected(OrderId(0), OrderId(1)));
+    }
+
+    #[test]
+    fn edges_expire() {
+        let mut g = ShareGraph::new();
+        // Pair jointly feasible only for a bounded window.
+        g.insert(order(0, 0, 10, 0, 200), 0, limits(), &Line);
+        g.insert(order(1, 2, 8, 0, 200), 0, limits(), &Line);
+        assert_eq!(g.edge_count(), 1);
+        let touched = g.expire_edges(150);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(touched.len(), 2);
+    }
+
+    #[test]
+    fn dead_orders_flagged_when_solo_infeasible() {
+        let mut g = ShareGraph::new();
+        g.insert(order(0, 0, 10, 0, 200), 0, limits(), &Line); // direct 100
+        assert!(g.dead_orders(50).is_empty());
+        assert_eq!(g.dead_orders(100), vec![OrderId(0)]);
+    }
+
+    #[test]
+    fn edge_expiry_matches_group_slack() {
+        let mut g = ShareGraph::new();
+        g.insert(order(0, 0, 10, 0, 200), 0, limits(), &Line);
+        g.insert(order(1, 2, 8, 0, 500), 0, limits(), &Line);
+        let (_, e) = g.neighbors(OrderId(0)).next().unwrap();
+        // Optimal pair route p0 p1 d1 d0 costs 100; o0 subroute = 100 →
+        // expiry = 200 − 100 − 1 = 99 (o0 is the binding member).
+        assert_eq!(e.expires_at, 99);
+        assert_eq!(e.route_cost, 100);
+    }
+}

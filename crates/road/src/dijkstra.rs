@@ -1,0 +1,242 @@
+//! Exact shortest paths (Dijkstra).
+//!
+//! Two entry points: [`single_source`] computes the full distance vector
+//! used to build the APSP table, and [`shortest_path_cost`] is a
+//! point-to-point query with early termination used when a table would be
+//! too large.
+
+use crate::graph::RoadGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use watter_core::{Dur, NodeId};
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: Dur = Dur::MAX / 4;
+
+/// Full single-source shortest-path distances from `src`.
+pub fn single_source(graph: &RoadGraph, src: NodeId) -> Vec<Dur> {
+    let mut dist = vec![UNREACHABLE; graph.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0, src.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.neighbors(NodeId(u)) {
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+    dist
+}
+
+/// Point-to-point shortest path cost with early exit at the target.
+///
+/// Returns [`UNREACHABLE`] when no path exists.
+pub fn shortest_path_cost(graph: &RoadGraph, src: NodeId, dst: NodeId) -> Dur {
+    if src == dst {
+        return 0;
+    }
+    let mut dist = vec![UNREACHABLE; graph.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0, src.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if u == dst.0 {
+            return d;
+        }
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.neighbors(NodeId(u)) {
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+    UNREACHABLE
+}
+
+/// On-demand oracle wrapping point-to-point Dijkstra. Exact but slow; used
+/// in tests as ground truth against [`crate::CostMatrix`].
+#[derive(Clone, Debug)]
+pub struct DijkstraOracle<'g> {
+    graph: &'g RoadGraph,
+}
+
+impl<'g> DijkstraOracle<'g> {
+    /// Wrap a graph.
+    pub fn new(graph: &'g RoadGraph) -> Self {
+        Self { graph }
+    }
+}
+
+impl watter_core::TravelCost for DijkstraOracle<'_> {
+    fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+        shortest_path_cost(self.graph, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    fn path_graph(n: u32) -> RoadGraph {
+        let coords = (0..n).map(|i| (i as f64, 0.0)).collect();
+        let edges = (0..n - 1)
+            .map(|i| Edge {
+                from: NodeId(i),
+                to: NodeId(i + 1),
+                travel: 7,
+            })
+            .collect();
+        RoadGraph::from_undirected_edges(coords, edges)
+    }
+
+    #[test]
+    fn line_distances() {
+        let g = path_graph(5);
+        let d = single_source(&g, NodeId(0));
+        assert_eq!(d, vec![0, 7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn point_to_point_matches_single_source() {
+        let g = path_graph(6);
+        assert_eq!(shortest_path_cost(&g, NodeId(1), NodeId(4)), 21);
+        assert_eq!(shortest_path_cost(&g, NodeId(4), NodeId(4)), 0);
+    }
+
+    #[test]
+    fn disconnected_is_unreachable() {
+        let g = RoadGraph::from_edges(vec![(0.0, 0.0), (1.0, 1.0)], vec![]);
+        assert_eq!(shortest_path_cost(&g, NodeId(0), NodeId(1)), UNREACHABLE);
+    }
+
+    #[test]
+    fn takes_cheaper_of_two_routes() {
+        // 0 -1- 2 (cost 2) vs 0 -> 2 direct (cost 5)
+        let g = RoadGraph::from_undirected_edges(
+            vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+            vec![
+                Edge {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    travel: 1,
+                },
+                Edge {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    travel: 1,
+                },
+                Edge {
+                    from: NodeId(0),
+                    to: NodeId(2),
+                    travel: 5,
+                },
+            ],
+        );
+        assert_eq!(shortest_path_cost(&g, NodeId(0), NodeId(2)), 2);
+    }
+}
+
+/// Shortest path as an explicit node sequence (for traces/visualization).
+///
+/// Returns `None` when `dst` is unreachable from `src`.
+pub fn shortest_path(graph: &RoadGraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let n = graph.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut prev = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0, src.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if u == dst.0 {
+            break;
+        }
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.neighbors(NodeId(u)) {
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = u;
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+    if dist[dst.index()] >= UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = NodeId(prev[cur.index()]);
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod path_tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    fn line(n: u32) -> RoadGraph {
+        let coords = (0..n).map(|i| (i as f64, 0.0)).collect();
+        let edges = (0..n - 1)
+            .map(|i| Edge {
+                from: NodeId(i),
+                to: NodeId(i + 1),
+                travel: 5,
+            })
+            .collect();
+        RoadGraph::from_undirected_edges(coords, edges)
+    }
+
+    #[test]
+    fn path_matches_cost() {
+        let g = line(6);
+        let p = shortest_path(&g, NodeId(1), NodeId(4)).unwrap();
+        assert_eq!(p, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        let cost: i64 = p.windows(2).map(|w| 5).sum::<i64>();
+        assert_eq!(cost, shortest_path_cost(&g, NodeId(1), NodeId(4)));
+    }
+
+    #[test]
+    fn trivial_and_unreachable_paths() {
+        let g = line(3);
+        assert_eq!(shortest_path(&g, NodeId(2), NodeId(2)), Some(vec![NodeId(2)]));
+        let iso = RoadGraph::from_edges(vec![(0.0, 0.0), (1.0, 1.0)], vec![]);
+        assert_eq!(shortest_path(&iso, NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn path_endpoints_correct_on_grid() {
+        let cfg = crate::citygen::CityConfig {
+            width: 6,
+            height: 6,
+            ..Default::default()
+        };
+        let g = cfg.generate(3);
+        let p = shortest_path(&g, NodeId(0), NodeId(35)).unwrap();
+        assert_eq!(*p.first().unwrap(), NodeId(0));
+        assert_eq!(*p.last().unwrap(), NodeId(35));
+        // consecutive nodes must be road neighbours
+        for w in p.windows(2) {
+            assert!(g.neighbors(w[0]).any(|(v, _)| v == w[1]));
+        }
+    }
+}

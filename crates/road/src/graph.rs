@@ -1,0 +1,205 @@
+//! Compact CSR road graph.
+//!
+//! Nodes carry planar coordinates (used by the grid index and by workload
+//! generators); edges carry travel times in seconds. The graph is directed;
+//! road segments are inserted in both directions by the builder helpers when
+//! modelling two-way streets.
+
+use serde::{Deserialize, Serialize};
+use watter_core::{Dur, NodeId};
+
+/// Builder-friendly edge list entry.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Travel time in seconds (must be ≥ 1 to keep Dijkstra well-behaved).
+    pub travel: Dur,
+}
+
+/// A directed road network in compressed-sparse-row form.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    travels: Vec<Dur>,
+    coords: Vec<(f64, f64)>,
+}
+
+impl RoadGraph {
+    /// Build from node coordinates and a directed edge list.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node out of range or has a
+    /// non-positive travel time.
+    pub fn from_edges(coords: Vec<(f64, f64)>, mut edges: Vec<Edge>) -> Self {
+        let n = coords.len();
+        for e in &edges {
+            assert!(e.from.index() < n, "edge source {} out of range", e.from);
+            assert!(e.to.index() < n, "edge target {} out of range", e.to);
+            assert!(e.travel > 0, "edge travel time must be positive");
+        }
+        edges.sort_by_key(|e| (e.from.0, e.to.0));
+        let mut offsets = vec![0u32; n + 1];
+        for e in &edges {
+            offsets[e.from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = edges.iter().map(|e| e.to.0).collect();
+        let travels = edges.iter().map(|e| e.travel).collect();
+        Self {
+            offsets,
+            targets,
+            travels,
+            coords,
+        }
+    }
+
+    /// Insert every edge in both directions (two-way streets).
+    pub fn from_undirected_edges(coords: Vec<(f64, f64)>, edges: Vec<Edge>) -> Self {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for e in edges {
+            all.push(e);
+            all.push(Edge {
+                from: e.to,
+                to: e.from,
+                travel: e.travel,
+            });
+        }
+        Self::from_edges(coords, all)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Planar coordinates of a node.
+    #[inline]
+    pub fn coord(&self, n: NodeId) -> (f64, f64) {
+        self.coords[n.index()]
+    }
+
+    /// All node coordinates.
+    #[inline]
+    pub fn coords(&self) -> &[(f64, f64)] {
+        &self.coords
+    }
+
+    /// Outgoing neighbours of `n` with travel times.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, Dur)> + '_ {
+        let lo = self.offsets[n.index()] as usize;
+        let hi = self.offsets[n.index() + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.travels[lo..hi])
+            .map(|(&t, &w)| (NodeId(t), w))
+    }
+
+    /// Out-degree of `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        (self.offsets[n.index() + 1] - self.offsets[n.index()]) as usize
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Euclidean distance between node coordinates (a lower-bound heuristic
+    /// only when edge travel times dominate coordinate distance; used by the
+    /// grid index for proximity, never for exact costs).
+    pub fn euclid(&self, a: NodeId, b: NodeId) -> f64 {
+        let (ax, ay) = self.coord(a);
+        let (bx, by) = self.coord(b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> RoadGraph {
+        RoadGraph::from_undirected_edges(
+            vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)],
+            vec![
+                Edge {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    travel: 10,
+                },
+                Edge {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    travel: 20,
+                },
+                Edge {
+                    from: NodeId(0),
+                    to: NodeId(2),
+                    travel: 50,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_layout_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_target() {
+        let g = triangle();
+        let n: Vec<_> = g.neighbors(NodeId(0)).collect();
+        assert_eq!(n, vec![(NodeId(1), 10), (NodeId(2), 50)]);
+    }
+
+    #[test]
+    fn euclid_distance() {
+        let g = triangle();
+        assert!((g.euclid(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edge() {
+        RoadGraph::from_edges(
+            vec![(0.0, 0.0)],
+            vec![Edge {
+                from: NodeId(0),
+                to: NodeId(5),
+                travel: 1,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weight() {
+        RoadGraph::from_edges(
+            vec![(0.0, 0.0), (1.0, 1.0)],
+            vec![Edge {
+                from: NodeId(0),
+                to: NodeId(1),
+                travel: 0,
+            }],
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! ALT landmark lower bounds.
+//!
+//! For graphs too large for an all-pairs table, WATTER's shareability
+//! filtering only needs *lower bounds* to discard hopeless pairs cheaply:
+//! if even an optimistic bound on `cost(p_i, p_j)` already violates both
+//! orders' slack, no exact query is needed. We precompute distances from a
+//! handful of far-apart landmark nodes and use the triangle inequality
+//! `|d(ℓ, a) − d(ℓ, b)| ≤ d(a, b)`.
+
+use crate::dijkstra::{single_source, UNREACHABLE};
+use crate::graph::RoadGraph;
+use watter_core::{Dur, NodeId};
+
+/// Precomputed landmark distance vectors.
+#[derive(Clone, Debug)]
+pub struct Landmarks {
+    /// `dist[l][v]` = shortest travel time from landmark `l` to node `v`.
+    dist: Vec<Vec<Dur>>,
+}
+
+impl Landmarks {
+    /// Select `k` landmarks by farthest-point sampling (the classic ALT
+    /// heuristic) and precompute their distance vectors.
+    pub fn build(graph: &RoadGraph, k: usize) -> Self {
+        let n = graph.node_count();
+        if n == 0 || k == 0 {
+            return Self { dist: Vec::new() };
+        }
+        let mut dist: Vec<Vec<Dur>> = Vec::with_capacity(k);
+        // First landmark: node 0; subsequent ones maximize distance to the
+        // already-selected set.
+        let mut current = NodeId(0);
+        for _ in 0..k.min(n) {
+            let d = single_source(graph, current);
+            dist.push(d);
+            // farthest reachable node from all selected landmarks
+            let mut best = (0i64, NodeId(0));
+            for v in 0..n {
+                let m = dist
+                    .iter()
+                    .map(|row| row[v])
+                    .filter(|&x| x < UNREACHABLE)
+                    .min()
+                    .unwrap_or(0);
+                if m > best.0 {
+                    best = (m, NodeId(v as u32));
+                }
+            }
+            current = best.1;
+        }
+        Self { dist }
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Whether no landmarks were built.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// Triangle-inequality lower bound on `cost(a, b)`.
+    ///
+    /// Symmetric-graph form: `max_ℓ |d(ℓ,a) − d(ℓ,b)|`. Always ≤ the true
+    /// distance on undirected graphs; 0 when no landmark reaches both.
+    pub fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+        let mut lb = 0;
+        for row in &self.dist {
+            let da = row[a.index()];
+            let db = row[b.index()];
+            if da < UNREACHABLE && db < UNREACHABLE {
+                lb = lb.max((da - db).abs());
+            }
+        }
+        lb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+    use crate::matrix::CostMatrix;
+    use watter_core::TravelCost;
+
+    fn grid3() -> RoadGraph {
+        // 3×3 grid, unit weights 10.
+        let mut coords = Vec::new();
+        let mut edges = Vec::new();
+        for y in 0..3u32 {
+            for x in 0..3u32 {
+                coords.push((x as f64, y as f64));
+                let id = y * 3 + x;
+                if x + 1 < 3 {
+                    edges.push(Edge {
+                        from: NodeId(id),
+                        to: NodeId(id + 1),
+                        travel: 10,
+                    });
+                }
+                if y + 1 < 3 {
+                    edges.push(Edge {
+                        from: NodeId(id),
+                        to: NodeId(id + 3),
+                        travel: 10,
+                    });
+                }
+            }
+        }
+        RoadGraph::from_undirected_edges(coords, edges)
+    }
+
+    #[test]
+    fn bounds_never_exceed_true_distance() {
+        let g = grid3();
+        let lm = Landmarks::build(&g, 4);
+        let exact = CostMatrix::build(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert!(
+                    lm.lower_bound(a, b) <= exact.cost(a, b),
+                    "lb({a},{b}) exceeds exact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_on_a_line() {
+        // On a path graph with a landmark at one end, bounds are exact.
+        let coords = (0..5).map(|i| (i as f64, 0.0)).collect();
+        let edges = (0..4)
+            .map(|i| Edge {
+                from: NodeId(i),
+                to: NodeId(i + 1),
+                travel: 5,
+            })
+            .collect();
+        let g = RoadGraph::from_undirected_edges(coords, edges);
+        let lm = Landmarks::build(&g, 1);
+        assert_eq!(lm.lower_bound(NodeId(1), NodeId(4)), 15);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = RoadGraph::from_edges(vec![], vec![]);
+        let lm = Landmarks::build(&g, 3);
+        assert!(lm.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # watter-road
+//!
+//! Road-network substrate for the WATTER reproduction.
+//!
+//! The paper evaluates on the OSM road networks of New York City, Chengdu and
+//! Xi'an; those graphs (and the authors' preprocessed travel times) are not
+//! redistributable, so this crate provides the closest synthetic equivalent:
+//!
+//! * [`RoadGraph`] — a compact CSR directed graph with per-edge travel times
+//!   and per-node planar coordinates,
+//! * [`dijkstra`] — exact single-source and point-to-point shortest paths,
+//! * [`CostMatrix`] — an all-pairs shortest-path table implementing
+//!   [`watter_core::TravelCost`] with O(1) queries (the workloads use city
+//!   graphs of a few thousand nodes, for which the table is the fastest and
+//!   simplest oracle),
+//! * [`Landmarks`] — ALT-style lower bounds used as an alternative oracle
+//!   and to sanity-check the exact table,
+//! * [`GridIndex`] — the `g × g` spatial index the paper uses both to speed
+//!   up nearest-worker search and to quantize locations for the MDP state,
+//! * [`citygen`] — synthetic city generation (perturbed grid with optional
+//!   diagonal arterials).
+
+pub mod citygen;
+pub mod dijkstra;
+pub mod grid;
+pub mod graph;
+pub mod landmarks;
+pub mod matrix;
+
+pub use citygen::{CityConfig, CityTopology};
+pub use dijkstra::{shortest_path_cost, single_source};
+pub use graph::RoadGraph;
+pub use grid::GridIndex;
+pub use landmarks::Landmarks;
+pub use matrix::CostMatrix;

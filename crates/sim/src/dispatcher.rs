@@ -1,0 +1,322 @@
+//! Dispatchers: the pluggable algorithm under test.
+//!
+//! [`Dispatcher`] is the interface the engine drives; [`WatterDispatcher`]
+//! implements the paper's Order Pooling Management Algorithm (Algorithm 1)
+//! parameterized by a [`DecisionPolicy`] (Algorithm 2 or the online/timeout
+//! variants). The GDP/GAS baselines implement the same trait in
+//! `watter-baselines`.
+
+use crate::env::build_env;
+use crate::fleet::Fleet;
+use watter_core::{
+    CostWeights, Group, Measurements, Order, OrderId, OrderOutcome, Route, Stop, Ts, TravelCost,
+    WorkerId,
+};
+use watter_pool::{OrderPool, PoolConfig};
+use watter_road::GridIndex;
+use watter_strategy::{DecisionContext, DecisionPolicy, NoopObserver, PoolObserver};
+
+/// Mutable simulation context handed to dispatchers.
+pub struct SimCtx<'a> {
+    /// Current system timestamp `t_s`.
+    pub now: Ts,
+    /// The worker fleet.
+    pub fleet: &'a mut Fleet,
+    /// Metric accumulator.
+    pub measurements: &'a mut Measurements,
+    /// Travel-time oracle.
+    pub oracle: &'a dyn TravelCost,
+    /// Extra-time weights (α, β).
+    pub weights: CostWeights,
+}
+
+impl SimCtx<'_> {
+    /// Dispatch `group` to the nearest idle worker with sufficient
+    /// capacity. On success records all measurements (served outcomes,
+    /// worker travel) and returns the worker; on `None` no state changed.
+    pub fn dispatch_group(&mut self, group: &Group) -> Option<WorkerId> {
+        let first = group.route.first_node()?;
+        let last = group.route.last_node()?;
+        let wid = self
+            .fleet
+            .nearest_idle(first, self.now, group.total_riders(), &self.oracle)?;
+        let approach = self.oracle.cost(self.fleet.location(wid), first);
+        let travel = approach + group.route.cost();
+        self.fleet.assign(wid, last, self.now, travel);
+        self.measurements.record_worker_travel(travel);
+        self.measurements.record_approach(approach);
+        for (idx, order) in group.orders.iter().enumerate() {
+            self.measurements.record(
+                order,
+                &OrderOutcome::Served {
+                    detour: group.detours[idx],
+                    response: order.response_at(self.now),
+                    group_size: group.len() as u32,
+                },
+                self.weights,
+            );
+        }
+        Some(wid)
+    }
+
+    /// Dispatch `group` to a *specific* idle worker (used by batch
+    /// assignment baselines that optimize the worker choice themselves).
+    /// Returns `false` (leaving state untouched) if the worker is busy or
+    /// lacks capacity.
+    pub fn dispatch_group_to(&mut self, wid: WorkerId, group: &Group) -> bool {
+        let (Some(first), Some(last)) = (group.route.first_node(), group.route.last_node())
+        else {
+            return false;
+        };
+        if !self.fleet.is_idle(wid, self.now)
+            || self.fleet.worker(wid).capacity < group.total_riders()
+        {
+            return false;
+        }
+        let approach = self.oracle.cost(self.fleet.location(wid), first);
+        let travel = approach + group.route.cost();
+        self.fleet.assign(wid, last, self.now, travel);
+        self.measurements.record_worker_travel(travel);
+        self.measurements.record_approach(approach);
+        for (idx, order) in group.orders.iter().enumerate() {
+            self.measurements.record(
+                order,
+                &OrderOutcome::Served {
+                    detour: group.detours[idx],
+                    response: order.response_at(self.now),
+                    group_size: group.len() as u32,
+                },
+                self.weights,
+            );
+        }
+        true
+    }
+
+    /// Record a rejection.
+    pub fn reject(&mut self, order: &Order) {
+        self.measurements
+            .record(order, &OrderOutcome::Rejected, self.weights);
+    }
+
+    /// Build a singleton group (direct pick-up → drop-off route) for solo
+    /// service, if still feasible at `now`.
+    pub fn solo_group(&self, order: &Order) -> Option<Group> {
+        if self.now + order.direct_cost >= order.deadline {
+            return None;
+        }
+        let route = Route::new(
+            vec![
+                Stop::pickup(order.pickup, order.id),
+                Stop::dropoff(order.dropoff, order.id),
+            ],
+            &self.oracle,
+        );
+        Some(Group::new(vec![order.clone()], route, &self.oracle))
+    }
+}
+
+/// An online dispatch algorithm under test.
+pub trait Dispatcher {
+    /// A new order was released.
+    fn on_arrival(&mut self, order: Order, ctx: &mut SimCtx<'_>);
+
+    /// Periodic asynchronous check (Algorithm 1's check loop).
+    fn on_check(&mut self, ctx: &mut SimCtx<'_>);
+
+    /// Orders still awaiting a terminal outcome.
+    fn pending(&self) -> usize;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> String;
+}
+
+/// Configuration of the WATTER dispatcher.
+#[derive(Clone, Debug)]
+pub struct WatterConfig {
+    /// Pool parameters (planner limits, clique bounds, weights).
+    pub pool: PoolConfig,
+    /// Grid index used for demand/supply snapshots.
+    pub grid: GridIndex,
+    /// Period of the engine's asynchronous checks (used for the
+    /// last-call guard: an order whose solo feasibility lapses before the
+    /// next check must be served now or rejected).
+    pub check_period: watter_core::Dur,
+    /// Optional rider cancellation model (Section VI-A treats impatience
+    /// cancellation as an implicit expiration; [`CancellationModel::OFF`]
+    /// reproduces the paper's main experiments).
+    pub cancellation: crate::cancel::CancellationModel,
+    /// Seed for the deterministic cancellation draws.
+    pub cancel_seed: u64,
+}
+
+/// Algorithm 1: graph-based order pooling management, parameterized by the
+/// hold-or-dispatch policy and an experience observer.
+pub struct WatterDispatcher<P, O = NoopObserver> {
+    pool: OrderPool,
+    policy: P,
+    grid: GridIndex,
+    check_period: watter_core::Dur,
+    cancellation: crate::cancel::CancellationModel,
+    cancel_seed: u64,
+    observer: O,
+}
+
+impl<P: DecisionPolicy> WatterDispatcher<P, NoopObserver> {
+    /// Build a production dispatcher (no experience recording).
+    pub fn new(cfg: WatterConfig, policy: P) -> Self {
+        Self::with_observer(cfg, policy, NoopObserver)
+    }
+}
+
+impl<P: DecisionPolicy, O: PoolObserver> WatterDispatcher<P, O> {
+    /// Build a dispatcher that reports every order event to `observer`
+    /// (offline experience generation, Section VI-B).
+    pub fn with_observer(cfg: WatterConfig, policy: P, observer: O) -> Self {
+        Self {
+            pool: OrderPool::new(cfg.pool),
+            policy,
+            grid: cfg.grid,
+            check_period: cfg.check_period,
+            cancellation: cfg.cancellation,
+            cancel_seed: cfg.cancel_seed,
+            observer,
+        }
+    }
+
+    /// The underlying pool (diagnostics).
+    pub fn pool(&self) -> &OrderPool {
+        &self.pool
+    }
+
+    /// Consume the dispatcher, returning the observer (to extract recorded
+    /// experience after a run).
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
+    /// Attempt solo service of `order`; on success records measurements,
+    /// notifies the observer and removes the order from the pool.
+    fn try_solo(
+        &mut self,
+        order: &Order,
+        ctx: &mut SimCtx<'_>,
+        env: &watter_core::EnvSnapshot,
+    ) -> bool {
+        let Some(solo) = ctx.solo_group(order) else {
+            return false;
+        };
+        if ctx.dispatch_group(&solo).is_some() {
+            self.observer.on_dispatch(order, 0, ctx.now, env);
+            self.pool.remove_orders(&[order.id], ctx.now, &ctx.oracle);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
+    fn on_arrival(&mut self, order: Order, ctx: &mut SimCtx<'_>) {
+        // Algorithm 1 lines 2–4: insert into the pool, maintaining the
+        // shareability graph and the best-group map.
+        self.pool.insert(order, ctx.now, &ctx.oracle);
+    }
+
+    fn on_check(&mut self, ctx: &mut SimCtx<'_>) {
+        let now = ctx.now;
+        // Lines 5–6: expire edges/groups; collect solo-infeasible orders.
+        let mut dead = self.pool.maintain(now, &ctx.oracle);
+        // Impatience cancellations (implicit expirations, Section VI-A).
+        if self.cancellation.is_active() {
+            for o in self.pool.orders() {
+                if !dead.contains(&o.id)
+                    && self.cancellation.cancels(o, now, self.cancel_seed)
+                {
+                    dead.push(o.id);
+                }
+            }
+        }
+        let env = build_env(
+            &self.grid,
+            self.pool.orders(),
+            ctx.fleet.idle_locations(now),
+        );
+        for id in dead {
+            if let Some(o) = self.pool.order(id).cloned() {
+                ctx.reject(&o);
+                self.observer.on_expire(&o, now, &env);
+                self.pool.remove_orders(&[id], now, &ctx.oracle);
+            }
+        }
+        // Lines 8–16: per-order decision on the current best group.
+        let mut ids: Vec<(Ts, OrderId)> = self
+            .pool
+            .orders()
+            .map(|o| (o.release, o.id))
+            .collect();
+        ids.sort_unstable();
+        let check_period = self.check_period;
+        for (_, id) in ids {
+            // May have been dispatched as a member of an earlier group.
+            let Some(order) = self.pool.order(id).cloned() else {
+                continue;
+            };
+            let decision_ctx = DecisionContext { now, env: &env };
+            // "Last call": the order's solo feasibility lapses before the
+            // next periodic check — serve it now (with its group if the
+            // policy or necessity says so, solo otherwise) or lose it.
+            let dying = now + check_period + order.direct_cost >= order.deadline;
+            let dispatched = match self.pool.best_group(id) {
+                Some(group) => {
+                    let quality = group.quality(now, ctx.weights, &ctx.oracle);
+                    if self.policy.decide(group, quality, &decision_ctx) || dying {
+                        let group = group.clone();
+                        match ctx.dispatch_group(&group) {
+                            Some(_) => {
+                                let members: Vec<OrderId> = group.order_ids().collect();
+                                for (idx, o) in group.orders.iter().enumerate() {
+                                    self.observer.on_dispatch(
+                                        o,
+                                        group.detours[idx],
+                                        now,
+                                        &env,
+                                    );
+                                }
+                                self.pool.remove_orders(&members, now, &ctx.oracle);
+                                true
+                            }
+                            // No idle worker for the group: a dying order
+                            // still gets a solo attempt below.
+                            None => dying && self.try_solo(&order, ctx, &env),
+                        }
+                    } else {
+                        false
+                    }
+                }
+                None => {
+                    // No shareable partner. Past the watching window — or
+                    // on the last feasible check — the order is served solo
+                    // when a suitable worker exists (Definition 1 /
+                    // Section V-A), otherwise it keeps waiting until
+                    // solo-infeasible (then rejected above).
+                    if now > order.timeout_at() || dying {
+                        self.try_solo(&order, ctx, &env)
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !dispatched {
+                self.observer.on_wait(&order, now, &env);
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn name(&self) -> String {
+        self.policy.name().to_string()
+    }
+}

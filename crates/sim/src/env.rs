@@ -1,0 +1,59 @@
+//! Demand/supply snapshot construction.
+//!
+//! Builds the [`EnvSnapshot`] of Section VI-A's environmental features from
+//! the pooled orders (demand) and the idle workers (supply), quantized by
+//! the grid index.
+
+use watter_core::{EnvSnapshot, NodeId, Order};
+use watter_road::GridIndex;
+
+/// Count pooled orders' pick-up/drop-off cells and idle workers per cell.
+pub fn build_env<'a>(
+    grid: &GridIndex,
+    pooled: impl Iterator<Item = &'a Order>,
+    idle_workers: impl Iterator<Item = NodeId>,
+) -> EnvSnapshot {
+    let mut env = EnvSnapshot::empty(grid.dim());
+    for o in pooled {
+        env.demand_pickup[grid.cell_of(o.pickup)] += 1;
+        env.demand_dropoff[grid.cell_of(o.dropoff)] += 1;
+    }
+    for loc in idle_workers {
+        env.supply[grid.cell_of(loc)] += 1;
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watter_core::OrderId;
+    use watter_road::CityConfig;
+
+    #[test]
+    fn counts_land_in_cells() {
+        let city = CityConfig {
+            width: 8,
+            height: 8,
+            ..CityConfig::default()
+        }
+        .generate(1);
+        let grid = GridIndex::build(&city, 4);
+        let o = Order {
+            id: OrderId(0),
+            pickup: NodeId(0),
+            dropoff: NodeId(63),
+            riders: 1,
+            release: 0,
+            deadline: 1_000,
+            wait_limit: 100,
+            direct_cost: 500,
+        };
+        let env = build_env(&grid, std::iter::once(&o), std::iter::once(NodeId(5)));
+        assert_eq!(env.total_demand(), 1);
+        assert_eq!(env.total_supply(), 1);
+        assert_eq!(env.demand_pickup[grid.cell_of(NodeId(0))], 1);
+        assert_eq!(env.demand_dropoff[grid.cell_of(NodeId(63))], 1);
+        assert_eq!(env.supply[grid.cell_of(NodeId(5))], 1);
+    }
+}

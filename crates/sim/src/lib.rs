@@ -1,0 +1,28 @@
+//! # watter-sim
+//!
+//! Event-driven ridesharing simulator.
+//!
+//! The engine replays an order stream against a dispatcher (WATTER variants
+//! or the baselines in `watter-baselines`) over a shared fleet and road
+//! network, collecting the paper's four measurements. Components:
+//!
+//! * [`fleet`] — worker runtime state (location, busy-until), nearest-idle
+//!   queries;
+//! * [`engine`] — the event loop interleaving order arrivals with the
+//!   asynchronous periodic checks of Algorithm 1;
+//! * [`dispatcher`] — the [`Dispatcher`] trait plus [`WatterDispatcher`],
+//!   the order-pool management algorithm parameterized by a decision policy
+//!   (Algorithm 1 + Algorithm 2);
+//! * [`env`] — demand/supply snapshot construction over the grid index.
+
+pub mod cancel;
+pub mod dispatcher;
+pub mod engine;
+pub mod env;
+pub mod fleet;
+
+pub use cancel::CancellationModel;
+pub use dispatcher::{Dispatcher, SimCtx, WatterConfig, WatterDispatcher};
+pub use engine::{run, SimConfig};
+pub use env::build_env;
+pub use fleet::Fleet;

@@ -1,0 +1,59 @@
+//! Pool observation interface for offline experience generation.
+//!
+//! Section VI-B trains the value function on experience generated "by
+//! simulating the dispatch process of the framework incorporated with the
+//! proposed grouping strategy". The simulator reports every per-order
+//! decision event through [`PoolObserver`]; `watter-learn` implements it to
+//! featurize states and fill the replay memory, while production runs use
+//! [`NoopObserver`] at zero cost.
+
+use watter_core::{Dur, EnvSnapshot, Order, Ts};
+
+/// Receives the life-cycle events of pooled orders during simulation.
+pub trait PoolObserver {
+    /// The order stayed in the pool through the check at `now` (a *wait*
+    /// action, `a = 0`).
+    fn on_wait(&mut self, order: &Order, now: Ts, env: &EnvSnapshot);
+
+    /// The order was dispatched at `now` with realized detour `detour`
+    /// (a *dispatch* action, `a = 1`).
+    fn on_dispatch(&mut self, order: &Order, detour: Dur, now: Ts, env: &EnvSnapshot);
+
+    /// The order expired / was rejected at `now`.
+    fn on_expire(&mut self, order: &Order, now: Ts, env: &EnvSnapshot);
+}
+
+/// Observer that ignores everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl PoolObserver for NoopObserver {
+    fn on_wait(&mut self, _: &Order, _: Ts, _: &EnvSnapshot) {}
+    fn on_dispatch(&mut self, _: &Order, _: Dur, _: Ts, _: &EnvSnapshot) {}
+    fn on_expire(&mut self, _: &Order, _: Ts, _: &EnvSnapshot) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watter_core::{NodeId, OrderId};
+
+    #[test]
+    fn noop_observer_is_inert() {
+        let mut obs = NoopObserver;
+        let env = EnvSnapshot::empty(2);
+        let o = Order {
+            id: OrderId(0),
+            pickup: NodeId(0),
+            dropoff: NodeId(1),
+            riders: 1,
+            release: 0,
+            deadline: 100,
+            wait_limit: 10,
+            direct_cost: 50,
+        };
+        obs.on_wait(&o, 0, &env);
+        obs.on_dispatch(&o, 5, 10, &env);
+        obs.on_expire(&o, 20, &env);
+    }
+}

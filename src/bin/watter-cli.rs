@@ -1,0 +1,155 @@
+//! `watter-cli` — run any algorithm on any synthetic scenario from the
+//! command line, optionally training and persisting a value function.
+//!
+//! ```text
+//! watter-cli run   [--profile nyc|cdc|xia] [--algo gdp|gas|nonshare|online|timeout|expect]
+//!                  [--orders N] [--workers M] [--tau F] [--kw K] [--eta F]
+//!                  [--seed S] [--json PATH]
+//! watter-cli train [--profile nyc|cdc|xia] [--out model.json] [--steps N]
+//! ```
+//!
+//! `--algo expect` trains a value function on a sibling "day" first (or
+//! loads one via `--model model.json`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use watter::prelude::*;
+use watter::runner::{run_algorithm, Algo};
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn profile_of(flags: &HashMap<String, String>) -> CityProfile {
+    match flags.get("profile").map(|s| s.as_str()) {
+        Some("nyc") => CityProfile::Nyc,
+        Some("xia") => CityProfile::Xian,
+        _ => CityProfile::Chengdu,
+    }
+}
+
+fn params_of(flags: &HashMap<String, String>) -> ScenarioParams {
+    let mut p = ScenarioParams::default_for(profile_of(flags));
+    if let Some(n) = flags.get("orders").and_then(|s| s.parse().ok()) {
+        p.n_orders = n;
+    }
+    if let Some(m) = flags.get("workers").and_then(|s| s.parse().ok()) {
+        p.n_workers = m;
+    }
+    if let Some(t) = flags.get("tau").and_then(|s| s.parse().ok()) {
+        p.deadline_scale = t;
+    }
+    if let Some(k) = flags.get("kw").and_then(|s| s.parse().ok()) {
+        p.max_capacity = k;
+    }
+    if let Some(e) = flags.get("eta").and_then(|s| s.parse().ok()) {
+        p.wait_scale = e;
+    }
+    if let Some(s) = flags.get("seed").and_then(|s| s.parse().ok()) {
+        p.seed = s;
+    }
+    p
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let params = params_of(&flags);
+    let scenario = Scenario::build(params.clone());
+    let algo_name = flags
+        .get("algo")
+        .map(|s| s.as_str())
+        .unwrap_or("online")
+        .to_string();
+    let algo = match algo_name.as_str() {
+        "gdp" => Algo::Gdp,
+        "gas" => Algo::Gas,
+        "nonshare" => Algo::NonSharing,
+        "online" => Algo::WatterOnline,
+        "timeout" => Algo::WatterTimeout,
+        "expect" => {
+            let value = if let Some(path) = flags.get("model") {
+                ValueFunction::load_json(std::path::Path::new(path)).unwrap_or_else(|e| {
+                    eprintln!("failed to load model {path}: {e}");
+                    std::process::exit(1);
+                })
+            } else {
+                eprintln!("training value function (pass --model to reuse one) …");
+                let mut tp = params.clone();
+                tp.seed ^= 0xDEAD_BEEF;
+                train(&Scenario::build(tp), &TrainingConfig::default()).value
+            };
+            Algo::WatterExpectValue(Arc::new(value))
+        }
+        other => {
+            eprintln!("unknown algo `{other}`");
+            std::process::exit(2);
+        }
+    };
+    let stats = run_algorithm(&scenario, algo);
+    println!("profile       : {}", params.profile.tag());
+    println!("orders/workers: {}/{}", params.n_orders, params.n_workers);
+    println!("algorithm     : {algo_name}");
+    println!("extra time    : {:.0} s", stats.extra_time);
+    println!("unified cost  : {:.0}", stats.unified_cost);
+    println!("service rate  : {:.1} %", stats.service_rate_pct);
+    println!("running time  : {:.4} ms/order", stats.running_time * 1e3);
+    println!("mean group    : {:.2}", stats.mean_group_size);
+    if let Some(path) = flags.get("json") {
+        let s = serde_json::to_string_pretty(&stats).expect("serialize stats");
+        std::fs::write(path, s).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn cmd_train(flags: HashMap<String, String>) {
+    let mut params = params_of(&flags);
+    params.seed ^= 0xDEAD_BEEF;
+    let training = Scenario::build(params);
+    let mut cfg = TrainingConfig::default();
+    if let Some(steps) = flags.get("steps").and_then(|s| s.parse().ok()) {
+        cfg.train_steps = steps;
+    }
+    eprintln!("training …");
+    let trained = train(&training, &cfg);
+    eprintln!(
+        "history={} transitions={} final-loss={:.1}",
+        trained.history_len,
+        trained.transitions,
+        trained.losses.last().copied().unwrap_or(f32::NAN)
+    );
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "model.json".to_string());
+    trained
+        .value
+        .save_json(std::path::Path::new(&out))
+        .expect("save model");
+    println!("saved value function to {out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("run") => cmd_run(parse_flags(&args[1..])),
+        Some("train") => cmd_train(parse_flags(&args[1..])),
+        _ => {
+            eprintln!("usage: watter-cli <run|train> [--flags]  (see --help in source)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # WATTER — Wait to be Faster
+//!
+//! A Rust reproduction of *"Wait to be Faster: A Smart Pooling Framework
+//! for Dynamic Ridesharing"* (ICDE 2024). This facade crate re-exports the
+//! whole workspace and provides the end-to-end [`pipeline`] (history
+//! collection → GMM fitting → experience generation → value-function
+//! training) and the [`runner`] used by examples, integration tests and
+//! the experiment harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use watter::prelude::*;
+//!
+//! // A small synthetic Chengdu-like scenario.
+//! let mut params = ScenarioParams::default_for(CityProfile::Chengdu);
+//! params.n_orders = 120;
+//! params.n_workers = 15;
+//! params.city_side = 10;
+//! let scenario = Scenario::build(params);
+//!
+//! // Run the pooling framework with the online policy.
+//! let stats = watter::runner::run_algorithm(&scenario, watter::runner::Algo::WatterOnline);
+//! assert!(stats.service_rate_pct > 0.0);
+//! ```
+
+pub use watter_baselines as baselines;
+pub use watter_core as core;
+pub use watter_learn as learn;
+pub use watter_pool as pool;
+pub use watter_road as road;
+pub use watter_sim as sim;
+pub use watter_strategy as strategy;
+pub use watter_workload as workload;
+
+pub mod pipeline;
+pub mod runner;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use crate::pipeline::{train, TrainedWatter, TrainingConfig};
+    pub use crate::runner::{run_algorithm, Algo};
+    pub use watter_core::{
+        CostWeights, Group, Measurements, Order, RunStats, TravelCost, Worker,
+    };
+    pub use watter_learn::{Gmm, GmmThresholdProvider, ValueFunction};
+    pub use watter_road::{CityConfig, CostMatrix, GridIndex, RoadGraph};
+    pub use watter_sim::{Dispatcher, SimConfig, WatterConfig, WatterDispatcher};
+    pub use watter_strategy::{
+        ConstantThreshold, DecisionPolicy, OnlinePolicy, ThresholdPolicy, TimeoutPolicy,
+    };
+    pub use watter_workload::{CityProfile, Scenario, ScenarioParams};
+}

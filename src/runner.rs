@@ -1,0 +1,179 @@
+//! One-call experiment runner.
+//!
+//! Maps an algorithm name to a configured dispatcher and executes it on a
+//! [`Scenario`], returning the paper's four measurements. This is the unit
+//! of work of every table and figure reproduction.
+
+use std::sync::Arc;
+use watter_baselines::{GasConfig, GasDispatcher, GdpConfig, GdpDispatcher, NonSharingDispatcher};
+use watter_core::{CostWeights, Measurements, RunStats};
+use watter_learn::ValueFunction;
+use watter_pool::{cliques::CliqueLimits, PlanLimits, PoolConfig};
+use watter_sim::{run, SimConfig, WatterConfig, WatterDispatcher};
+use watter_strategy::{OnlinePolicy, ThresholdPolicy, TimeoutPolicy};
+use watter_workload::Scenario;
+
+/// The algorithms compared in the paper's evaluation.
+pub enum Algo {
+    /// GDP greedy insertion \[9\].
+    Gdp,
+    /// GAS batch additive-tree grouping \[2\].
+    Gas,
+    /// Non-sharing sequential baseline (Example 1).
+    NonSharing,
+    /// WATTER with the dispatch-ASAP policy.
+    WatterOnline,
+    /// WATTER with the dispatch-as-late-as-possible policy.
+    WatterTimeout,
+    /// WATTER-expect with a GMM-optimal threshold (Section V-C, no RL).
+    WatterExpectGmm(Arc<watter_learn::Gmm>),
+    /// WATTER-expect with the learned value function (Section VI).
+    WatterExpectValue(Arc<ValueFunction>),
+    /// WATTER-expect with a constant threshold (ablation: the base case of
+    /// Section V-A before any learning).
+    WatterConstant(f64),
+    /// WATTER-online under an explicit rider-cancellation model
+    /// (robustness ablation; Section VI-A treats cancellation as implicit
+    /// expiration).
+    WatterOnlineCancel(watter_sim::CancellationModel),
+}
+
+impl Algo {
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Gdp => "GDP",
+            Algo::Gas => "GAS",
+            Algo::NonSharing => "NonSharing",
+            Algo::WatterOnline => "WATTER-online",
+            Algo::WatterTimeout => "WATTER-timeout",
+            Algo::WatterExpectGmm(_) => "WATTER-expect-gmm",
+            Algo::WatterExpectValue(_) => "WATTER-expect",
+            Algo::WatterConstant(_) => "WATTER-const",
+            Algo::WatterOnlineCancel(_) => "WATTER-online+cancel",
+        }
+    }
+}
+
+/// Pool configuration derived from scenario parameters.
+pub fn pool_config(scenario: &Scenario) -> PoolConfig {
+    PoolConfig {
+        limits: PlanLimits {
+            capacity: scenario.params.max_capacity,
+        },
+        clique: CliqueLimits {
+            max_group_size: scenario.params.max_capacity as usize,
+            max_neighbors: 12,
+        },
+        weights: CostWeights::default(),
+    }
+}
+
+/// WATTER dispatcher configuration derived from scenario parameters.
+pub fn watter_config(scenario: &Scenario) -> WatterConfig {
+    WatterConfig {
+        pool: pool_config(scenario),
+        grid: scenario.grid.clone(),
+        check_period: scenario.params.check_period,
+        cancellation: watter_sim::CancellationModel::OFF,
+        cancel_seed: scenario.params.seed,
+    }
+}
+
+/// Engine configuration derived from scenario parameters.
+pub fn sim_config(scenario: &Scenario) -> SimConfig {
+    SimConfig {
+        check_period: scenario.params.check_period,
+        weights: CostWeights::default(),
+        drain_horizon: 4 * 3600,
+    }
+}
+
+/// Execute one algorithm on one scenario, returning full measurements.
+pub fn run_measured(scenario: &Scenario, algo: Algo) -> Measurements {
+    let cfg = sim_config(scenario);
+    let orders = scenario.orders.clone();
+    let workers = scenario.workers.clone();
+    let oracle = scenario.oracle.as_ref();
+    match algo {
+        Algo::Gdp => {
+            let mut d = GdpDispatcher::new(GdpConfig::default(), &workers);
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+        Algo::Gas => {
+            let mut d = GasDispatcher::new(GasConfig {
+                batch_window: scenario.params.check_period.max(5),
+                max_group_size: scenario.params.max_capacity as usize,
+                beam_width: 8,
+            });
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+        Algo::NonSharing => {
+            let mut d = NonSharingDispatcher::new();
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+        Algo::WatterOnline => {
+            let mut d = WatterDispatcher::new(watter_config(scenario), OnlinePolicy);
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+        Algo::WatterTimeout => {
+            let mut d = WatterDispatcher::new(
+                watter_config(scenario),
+                TimeoutPolicy {
+                    check_period: cfg.check_period,
+                },
+            );
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+        Algo::WatterExpectGmm(gmm) => {
+            let provider = watter_learn::GmmThresholdProvider::from_gmm((*gmm).clone());
+            let mut d = WatterDispatcher::new(
+                watter_config(scenario),
+                ThresholdPolicy::new(provider, cfg.check_period),
+            );
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+        Algo::WatterExpectValue(vf) => {
+            let mut d = WatterDispatcher::new(
+                watter_config(scenario),
+                ThresholdPolicy::new(ArcProvider(vf), cfg.check_period),
+            );
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+        Algo::WatterConstant(theta) => {
+            let mut d = WatterDispatcher::new(
+                watter_config(scenario),
+                ThresholdPolicy::new(
+                    watter_strategy::ConstantThreshold(theta),
+                    cfg.check_period,
+                ),
+            );
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+        Algo::WatterOnlineCancel(model) => {
+            let mut wcfg = watter_config(scenario);
+            wcfg.cancellation = model;
+            let mut d = WatterDispatcher::new(wcfg, OnlinePolicy);
+            run(orders, workers, &mut d, oracle, cfg)
+        }
+    }
+}
+
+/// Execute one algorithm and summarize into [`RunStats`].
+pub fn run_algorithm(scenario: &Scenario, algo: Algo) -> RunStats {
+    RunStats::from(&run_measured(scenario, algo))
+}
+
+/// Shared-ownership wrapper so a trained value function can serve many
+/// sweep points without cloning network weights.
+pub struct ArcProvider(pub Arc<ValueFunction>);
+
+impl watter_strategy::ThresholdProvider for ArcProvider {
+    fn threshold(
+        &self,
+        order: &watter_core::Order,
+        ctx: &watter_strategy::DecisionContext<'_>,
+    ) -> f64 {
+        self.0.threshold(order, ctx)
+    }
+}
