@@ -12,7 +12,7 @@
 //! Orders not assigned in their batch roll over while still solo-feasible,
 //! then are rejected.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use watter_core::{Dur, Group, Order, OrderId, Ts, WorkerId};
 use watter_pool::{plan_with_start, PlanLimits};
 use watter_sim::{Dispatcher, SimCtx};
@@ -44,7 +44,7 @@ impl Default for GasConfig {
 pub struct GasDispatcher {
     cfg: GasConfig,
     /// Orders waiting for the current batch boundary (or rolled over).
-    backlog: HashMap<OrderId, Order>,
+    backlog: BTreeMap<OrderId, Order>,
     next_batch: Ts,
 }
 
@@ -53,7 +53,7 @@ impl GasDispatcher {
     pub fn new(cfg: GasConfig) -> Self {
         Self {
             cfg,
-            backlog: HashMap::new(),
+            backlog: BTreeMap::new(),
             next_batch: 0,
         }
     }
@@ -71,8 +71,7 @@ impl GasDispatcher {
             // level 1: feasible singletons
             let mut level: Vec<(Vec<&Order>, Dur)> = Vec::new();
             for &o in &orders {
-                if let Some((_, total)) =
-                    plan_with_start(start, &[o], ctx.now, limits, &ctx.oracle)
+                if let Some((_, total)) = plan_with_start(start, &[o], ctx.now, limits, &ctx.oracle)
                 {
                     level.push((vec![o], total));
                 }
@@ -113,14 +112,10 @@ impl GasDispatcher {
                 // travel time.
                 let revenue: f64 = grp.iter().map(|o| 10.0 * o.direct_cost as f64).sum();
                 let utility = revenue - total as f64;
-                if let Some((route, _)) =
-                    plan_with_start(start, &grp, ctx.now, limits, &ctx.oracle)
+                if let Some((route, _)) = plan_with_start(start, &grp, ctx.now, limits, &ctx.oracle)
                 {
-                    let group = Group::new(
-                        grp.iter().map(|&o| o.clone()).collect(),
-                        route,
-                        &ctx.oracle,
-                    );
+                    let group =
+                        Group::new(grp.iter().map(|&o| o.clone()).collect(), route, &ctx.oracle);
                     out.push((wid, group, utility));
                 }
             }

@@ -22,7 +22,9 @@ pub struct GdpConfig {
 
 impl Default for GdpConfig {
     fn default() -> Self {
-        Self { max_route_stops: 12 }
+        Self {
+            max_route_stops: 12,
+        }
     }
 }
 
@@ -59,7 +61,7 @@ impl Dispatcher for GdpDispatcher {
                 continue;
             }
             if let Some(ins) = s.best_insertion(&order, ctx.now, &ctx.oracle) {
-                if best.map_or(true, |(_, b)| ins.added_cost < b.added_cost) {
+                if best.is_none_or(|(_, b)| ins.added_cost < b.added_cost) {
                     best = Some((wi, ins));
                 }
             }
@@ -69,8 +71,7 @@ impl Dispatcher for GdpDispatcher {
                 // Served: GDP notifies instantly (response ≈ 0); the detour
                 // is the gap between the promised drop-off ETA and the
                 // ideal release + direct trip.
-                let detour =
-                    (ins.dropoff_eta - order.release - order.direct_cost).max(0);
+                let detour = (ins.dropoff_eta - order.release - order.direct_cost).max(0);
                 ctx.measurements.record(
                     &order,
                     &OrderOutcome::Served {
@@ -127,17 +128,14 @@ mod tests {
         }
     }
 
-    fn harness(
-        workers: Vec<Worker>,
-    ) -> (GdpDispatcher, Fleet, Measurements) {
+    fn harness(workers: Vec<Worker>) -> (GdpDispatcher, Fleet, Measurements) {
         let d = GdpDispatcher::new(GdpConfig::default(), &workers);
         (d, Fleet::new(workers), Measurements::default())
     }
 
     #[test]
     fn serves_feasible_order() {
-        let (mut d, mut fleet, mut m) =
-            harness(vec![Worker::new(WorkerId(0), NodeId(0), 4)]);
+        let (mut d, mut fleet, mut m) = harness(vec![Worker::new(WorkerId(0), NodeId(0), 4)]);
         let mut ctx = SimCtx {
             now: 0,
             fleet: &mut fleet,
@@ -152,8 +150,7 @@ mod tests {
 
     #[test]
     fn rejects_when_no_feasible_insertion() {
-        let (mut d, mut fleet, mut m) =
-            harness(vec![Worker::new(WorkerId(0), NodeId(100), 4)]);
+        let (mut d, mut fleet, mut m) = harness(vec![Worker::new(WorkerId(0), NodeId(100), 4)]);
         let mut ctx = SimCtx {
             now: 0,
             fleet: &mut fleet,
@@ -168,8 +165,7 @@ mod tests {
 
     #[test]
     fn shares_route_with_nested_order() {
-        let (mut d, mut fleet, mut m) =
-            harness(vec![Worker::new(WorkerId(0), NodeId(0), 4)]);
+        let (mut d, mut fleet, mut m) = harness(vec![Worker::new(WorkerId(0), NodeId(0), 4)]);
         {
             let mut ctx = SimCtx {
                 now: 0,

@@ -6,8 +6,8 @@
 //! order's deadline and the vehicle capacity — the classic operator of the
 //! GDP line of work \[9\].
 
-use std::collections::HashMap;
-use watter_core::{Dur, NodeId, Order, OrderId, Stop, StopKind, Ts, TravelCost};
+use std::collections::BTreeMap;
+use watter_core::{Dur, NodeId, Order, OrderId, Stop, StopKind, TravelCost, Ts};
 
 /// A stop with its estimated arrival time.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -46,7 +46,7 @@ pub struct Schedule {
     /// Riders currently on board (boarded before `loc`/`time`).
     pub onboard: u32,
     /// Active orders (picked up or planned, not yet dropped off).
-    pub orders: HashMap<OrderId, Order>,
+    pub orders: BTreeMap<OrderId, Order>,
 }
 
 impl Schedule {
@@ -58,7 +58,7 @@ impl Schedule {
             stops: Vec::new(),
             capacity,
             onboard: 0,
-            orders: HashMap::new(),
+            orders: BTreeMap::new(),
         }
     }
 
@@ -124,7 +124,7 @@ impl Schedule {
         for i in 0..=n {
             for j in i..=n {
                 if let Some(ins) = self.evaluate_insertion(order, now, i, j, oracle) {
-                    if best.map_or(true, |b| ins.added_cost < b.added_cost) {
+                    if best.is_none_or(|b| ins.added_cost < b.added_cost) {
                         best = Some(ins);
                     }
                 }

@@ -20,7 +20,10 @@ fn run_figure(name: &str, title: &str, f: impl FnOnce() -> Vec<watter_bench::Exp
     let rows = f();
     print_table(title, &rows);
     write_json(&results_path(name), &rows).expect("write results");
-    eprintln!("[{name}] done in {:.1}s -> results/{name}.json", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[{name}] done in {:.1}s -> results/{name}.json",
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn example1() {
@@ -80,9 +83,11 @@ fn main() {
             experiments::appendix_grid(scale)
         }),
         "omega" => omega(scale),
-        "ablations" => run_figure("ablations", "Ablations: clique fan-out, demand correlation, cancellation", || {
-            experiments::ablations(scale)
-        }),
+        "ablations" => run_figure(
+            "ablations",
+            "Ablations: clique fan-out, demand correlation, cancellation",
+            || experiments::ablations(scale),
+        ),
         "all" => {
             example1();
             run_figure("fig3", "Figure 3: varying number of riders n", || {
@@ -107,9 +112,11 @@ fn main() {
                 experiments::appendix_grid(scale)
             });
             omega(scale);
-            run_figure("ablations", "Ablations: clique fan-out, demand correlation, cancellation", || {
-                experiments::ablations(scale)
-            });
+            run_figure(
+                "ablations",
+                "Ablations: clique fan-out, demand correlation, cancellation",
+                || experiments::ablations(scale),
+            );
         }
         other => {
             eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|all");

@@ -380,10 +380,10 @@ pub mod example1 {
     pub fn orders() -> Vec<Order> {
         let matrix = CostMatrix::build(&network());
         let spec = [
-            (5, 0u32, 2u32),  // o1: a -> c
-            (8, 3, 5),        // o2: d -> f
-            (10, 3, 2),       // o3: d -> c
-            (12, 4, 5),       // o4: e -> f
+            (5, 0u32, 2u32), // o1: a -> c
+            (8, 3, 5),       // o2: d -> f
+            (10, 3, 2),      // o3: d -> c
+            (12, 4, 5),      // o4: e -> f
         ];
         spec.iter()
             .enumerate()
@@ -417,8 +417,9 @@ pub mod example1 {
     /// compares route travel (the repositioning/approach legs are implicit
     /// in its trajectories).
     pub fn total_travel_minutes(which: &str) -> (f64, f64) {
-        use watter_baselines::{GasConfig, GasDispatcher, GdpConfig, GdpDispatcher,
-            NonSharingDispatcher};
+        use watter_baselines::{
+            GasConfig, GasDispatcher, GdpConfig, GdpDispatcher, NonSharingDispatcher,
+        };
         use watter_pool::{cliques::CliqueLimits, PlanLimits, PoolConfig};
         use watter_sim::{run, SimConfig, WatterConfig, WatterDispatcher};
         let graph = network();

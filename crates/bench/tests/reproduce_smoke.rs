@@ -1,0 +1,41 @@
+//! Subprocess smoke test for the `reproduce` binary: `reproduce example1`
+//! is the fastest paper artifact and exercises the whole stack (road
+//! network, pooling, baselines, dispatch), so it doubles as the guard that
+//! the experiment harness can't silently rot.
+
+use std::process::Command;
+
+#[test]
+fn example1_reproduces_paper_numbers() {
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .arg("example1")
+        .output()
+        .expect("spawn reproduce");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "reproduce example1 failed: {}{}",
+        stdout,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for strategy in ["nonshare", "gdp", "gas", "watter"] {
+        assert!(
+            stdout.contains(strategy),
+            "missing `{strategy}` row in:\n{stdout}"
+        );
+    }
+    // Table I: 12 minutes of worker travel without sharing vs a 5-minute
+    // shared group route (see tests/example1.rs for the full derivation).
+    let row = |name: &str| -> Vec<f64> {
+        stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with(name))
+            .unwrap_or_else(|| panic!("no `{name}` row in:\n{stdout}"))
+            .split_whitespace()
+            .skip(1)
+            .map(|tok| tok.parse().expect("numeric cell"))
+            .collect()
+    };
+    assert_eq!(row("nonshare")[0], 12.0, "non-sharing total travel");
+    assert_eq!(row("gdp")[1], 5.0, "GDP group-route travel");
+}

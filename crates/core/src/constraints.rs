@@ -181,6 +181,69 @@ mod tests {
     }
 
     #[test]
+    fn zero_slack_deadline_boundary() {
+        // Route cost 0→1 is 10. With deadline = sub + 1 the order has zero
+        // slack: feasible when dispatched at now = 0, infeasible one second
+        // later (the strict `<` of Definition 7 flips exactly there).
+        let orders = [order(0, 0, 1, 0, 11)];
+        let r = Route::new(
+            vec![
+                Stop::pickup(NodeId(0), OrderId(0)),
+                Stop::dropoff(NodeId(1), OrderId(0)),
+            ],
+            &Line,
+        );
+        assert_eq!(validate_route(&r, &orders, 0, 4, &Line), Ok(()));
+        assert_eq!(
+            validate_route(&r, &orders, 1, 4, &Line),
+            Err(ConstraintViolation::Deadline(OrderId(0)))
+        );
+    }
+
+    #[test]
+    fn exact_capacity_boarding_is_feasible() {
+        // Two 2-rider orders on board simultaneously: peak load 4.
+        let mut o0 = order(0, 0, 3, 0, 1_000);
+        let mut o1 = order(1, 1, 2, 0, 1_000);
+        o0.riders = 2;
+        o1.riders = 2;
+        let orders = [o0, o1];
+        let r = route_for(&orders);
+        // Boarding exactly at capacity satisfies constraint (3)…
+        assert_eq!(validate_route(&r, &orders, 0, 4, &Line), Ok(()));
+        // …and one seat fewer trips it, reporting the true peak.
+        assert_eq!(
+            validate_route(&r, &orders, 0, 3, &Line),
+            Err(ConstraintViolation::Capacity {
+                peak: 4,
+                capacity: 3
+            })
+        );
+    }
+
+    #[test]
+    fn capacity_peak_respects_dropoff_ordering() {
+        // Sequential service p0 d0 p1 d1 never has both orders on board:
+        // peak is a single order's riders, so capacity 2 suffices even
+        // though total riders is 4.
+        let mut o0 = order(0, 0, 1, 0, 1_000);
+        let mut o1 = order(1, 2, 3, 0, 1_000);
+        o0.riders = 2;
+        o1.riders = 2;
+        let orders = [o0.clone(), o1.clone()];
+        let r = Route::new(
+            vec![
+                Stop::pickup(o0.pickup, o0.id),
+                Stop::dropoff(o0.dropoff, o0.id),
+                Stop::pickup(o1.pickup, o1.id),
+                Stop::dropoff(o1.dropoff, o1.id),
+            ],
+            &Line,
+        );
+        assert_eq!(validate_route(&r, &orders, 0, 2, &Line), Ok(()));
+    }
+
+    #[test]
     fn exact_deadline_is_violation() {
         // Constraint is strict: arrival exactly at τ is infeasible.
         let orders = [order(0, 0, 1, 0, 10)];

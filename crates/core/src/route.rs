@@ -153,7 +153,12 @@ impl Route {
 
     /// Detour time `t_d^(i) = T(L^(i)) − cost(l_p, l_d)` (Definition 5) for
     /// an order with the given direct cost.
-    pub fn detour(&self, order: OrderId, direct_cost: Dur, oracle: &impl TravelCost) -> Option<Dur> {
+    pub fn detour(
+        &self,
+        order: OrderId,
+        direct_cost: Dur,
+        oracle: &impl TravelCost,
+    ) -> Option<Dur> {
         self.subroute_cost(order, oracle)
             .map(|c| (c - direct_cost).max(0))
     }

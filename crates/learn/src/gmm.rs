@@ -303,7 +303,7 @@ pub fn fit_bic(data: &[f64], max_k: usize, iters: usize) -> Gmm {
         let g = Gmm::fit(data, k, iters);
         let params = (3 * g.components().len() - 1) as f64;
         let bic = params * n.ln() - 2.0 * g.log_likelihood(data);
-        if best.as_ref().map_or(true, |(b, _)| bic < *b) {
+        if best.as_ref().is_none_or(|(b, _)| bic < *b) {
             best = Some((bic, g));
         }
     }

@@ -142,7 +142,7 @@ mod tests {
         // Backward induction through k wait transitions:
         let mut v = penalty - detour; // terminal dispatch value
         for _ in 0..k {
-            v = -dt + v;
+            v += -dt;
         }
         let response = k as f64 * dt;
         assert_eq!(v, penalty - (response + detour));

@@ -46,13 +46,13 @@ impl Dense {
     fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
         out.clear();
         out.resize(self.out_dim, 0.0);
-        for o in 0..self.out_dim {
+        for (o, cell) in out.iter_mut().enumerate() {
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             let mut acc = self.b[o];
             for (wi, xi) in row.iter().zip(x) {
                 acc += wi * xi;
             }
-            out[o] = acc;
+            *cell = acc;
         }
     }
 }
@@ -230,7 +230,11 @@ impl Mlp {
     /// Copy all weights from another network of identical architecture (the
     /// delayed target-network sync of Section VI-B).
     pub fn copy_weights_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
             assert_eq!(dst.w.len(), src.w.len(), "architecture mismatch");
             dst.w.copy_from_slice(&src.w);
@@ -292,7 +296,7 @@ mod tests {
         let mut main = Mlp::new(&[3, 8], AdamConfig::default(), 3);
         let mut target = Mlp::new(&[3, 8], AdamConfig::default(), 99);
         let x = vec![0.1, 0.2, 0.3];
-        main.train_batch(&[x.clone()], &[1.0]);
+        main.train_batch(std::slice::from_ref(&x), &[1.0]);
         assert_ne!(main.predict(&x), target.predict(&x));
         target.copy_weights_from(&main);
         assert_eq!(main.predict(&x), target.predict(&x));

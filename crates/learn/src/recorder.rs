@@ -11,7 +11,7 @@ use crate::mdp::{Outcome, Transition};
 use crate::optimize::optimal_threshold;
 use crate::replay::ReplayMemory;
 use crate::state::StateFeaturizer;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use watter_core::{Dur, EnvSnapshot, Order, OrderId, Ts};
 use watter_strategy::PoolObserver;
 
@@ -23,7 +23,7 @@ pub struct TransitionRecorder {
     gmm: Option<Gmm>,
     memory: ReplayMemory,
     /// Last observed (state, timestamp) per still-pooled order.
-    pending: HashMap<OrderId, (Vec<f32>, Ts)>,
+    pending: BTreeMap<OrderId, (Vec<f32>, Ts)>,
 }
 
 impl TransitionRecorder {
@@ -33,7 +33,7 @@ impl TransitionRecorder {
             featurizer,
             gmm,
             memory: ReplayMemory::new(capacity),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 

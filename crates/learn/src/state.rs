@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn snapshot_counts_demand_and_supply() {
         let f = featurizer();
-        let orders = vec![order(0, 63, 0), order(1, 62, 0)];
+        let orders = [order(0, 63, 0), order(1, 62, 0)];
         let env = f.snapshot(orders.iter(), [NodeId(5), NodeId(6)].into_iter());
         assert_eq!(env.total_demand(), 2);
         assert_eq!(env.total_supply(), 2);

@@ -114,9 +114,7 @@ impl ValueTrainer {
             let mut ys = Vec::with_capacity(batch.len());
             for t in batch {
                 let v_next = match &t.outcome {
-                    Outcome::Waited { next_state, .. } => {
-                        self.target.predict(next_state) as f64
-                    }
+                    Outcome::Waited { next_state, .. } => self.target.predict(next_state) as f64,
                     _ => 0.0,
                 };
                 let y = t.blended_target(v_next, self.cfg.gamma, self.cfg.omega);
@@ -128,7 +126,7 @@ impl ValueTrainer {
             total += loss;
             executed += 1;
             self.steps += 1;
-            if self.steps % self.cfg.target_sync_every == 0 {
+            if self.steps.is_multiple_of(self.cfg.target_sync_every) {
                 self.target.copy_weights_from(&self.main);
             }
         }
@@ -186,8 +184,10 @@ mod tests {
         let mem = anchored_memory(500);
         tr.train(&mem, 300);
         let early: f32 = tr.loss_history[..20].iter().sum::<f32>() / 20.0;
-        let late: f32 =
-            tr.loss_history[tr.loss_history.len() - 20..].iter().sum::<f32>() / 20.0;
+        let late: f32 = tr.loss_history[tr.loss_history.len() - 20..]
+            .iter()
+            .sum::<f32>()
+            / 20.0;
         assert!(late < early, "late {late} !< early {early}");
     }
 

@@ -13,7 +13,7 @@
 
 use crate::planner::{plan_min_cost, PlanLimits};
 use crate::share_graph::ShareGraph;
-use watter_core::{CostWeights, Group, Order, OrderId, Ts, TravelCost};
+use watter_core::{CostWeights, Group, Order, OrderId, TravelCost, Ts};
 
 /// Knobs bounding clique search.
 #[derive(Clone, Copy, Debug)]
@@ -106,7 +106,15 @@ pub fn all_groups_for<C: TravelCost>(
     let mut out = Vec::new();
     let mut members: Vec<&Order> = vec![center];
     collect(
-        &mut members, &candidates, 0, graph, now, limits, clique, oracle, &mut out,
+        &mut members,
+        &candidates,
+        0,
+        graph,
+        now,
+        limits,
+        clique,
+        oracle,
+        &mut out,
     );
     out
 }
@@ -301,14 +309,7 @@ mod tests {
             order(2, 2, 8, 10_000),
         ]);
         let center = g.order(OrderId(0)).unwrap().clone();
-        let all = all_groups_for(
-            &center,
-            &g,
-            0,
-            limits(),
-            CliqueLimits::default(),
-            &Line,
-        );
+        let all = all_groups_for(&center, &g, 0, limits(), CliqueLimits::default(), &Line);
         assert!(all.iter().any(|gr| gr.len() == 3), "triple clique missing");
         // 2 pairs containing o0 + 1 triple
         assert_eq!(all.len(), 3);

@@ -18,7 +18,7 @@
 //! are small (≤ vehicle capacity, ≤ 5 in all experiments), so the search is
 //! a few hundred states at worst.
 
-use watter_core::{Dur, Order, Route, Stop, Ts, TravelCost};
+use watter_core::{Dur, Order, Route, Stop, TravelCost, Ts};
 
 /// Hard limits for the planner.
 #[derive(Clone, Copy, Debug)]

@@ -21,8 +21,8 @@
 use crate::cliques::{all_groups_for, best_group_for, CliqueLimits};
 use crate::planner::PlanLimits;
 use crate::share_graph::ShareGraph;
-use std::collections::{HashMap, HashSet};
-use watter_core::{CostWeights, Group, Order, OrderId, Ts, TravelCost};
+use std::collections::{BTreeMap, BTreeSet};
+use watter_core::{CostWeights, Group, Order, OrderId, TravelCost, Ts};
 
 /// Pool configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -53,9 +53,9 @@ pub struct PoolStats {
 pub struct OrderPool {
     cfg: PoolConfig,
     graph: ShareGraph,
-    best: HashMap<OrderId, Group>,
+    best: BTreeMap<OrderId, Group>,
     /// Reverse index: order → pooled orders whose best group contains it.
-    contained_in: HashMap<OrderId, HashSet<OrderId>>,
+    contained_in: BTreeMap<OrderId, BTreeSet<OrderId>>,
     stats: PoolStats,
 }
 
@@ -114,11 +114,7 @@ impl OrderPool {
         self.stats.inserted += 1;
         let id = order.id;
         self.graph.insert(order, now, self.cfg.limits, oracle);
-        let center = self
-            .graph
-            .order(id)
-            .expect("order just inserted")
-            .clone();
+        let center = self.graph.order(id).expect("order just inserted").clone();
         // Enumerate the arriving order's groups once; offer each to every
         // member (the arriving order may improve neighbours' bests too).
         let groups = all_groups_for(
@@ -138,7 +134,7 @@ impl OrderPool {
     /// Remove orders that were dispatched together or rejected (update
     /// event 2), recomputing bests that referenced them.
     pub fn remove_orders<C: TravelCost>(&mut self, ids: &[OrderId], now: Ts, oracle: &C) {
-        let mut affected: HashSet<OrderId> = HashSet::new();
+        let mut affected: BTreeSet<OrderId> = BTreeSet::new();
         for &id in ids {
             self.stats.removed += 1;
             self.graph.remove(id);

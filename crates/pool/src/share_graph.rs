@@ -8,8 +8,8 @@
 //! once expired.
 
 use crate::planner::{plan_min_cost, PlanLimits};
-use std::collections::HashMap;
-use watter_core::{Dur, Group, Order, OrderId, Ts, TravelCost};
+use std::collections::BTreeMap;
+use watter_core::{Dur, Group, Order, OrderId, TravelCost, Ts};
 
 /// A shareability edge between two pooled orders.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -23,10 +23,14 @@ pub struct PairEdge {
 }
 
 /// Adjacency-list temporal shareability graph.
+///
+/// Ordered maps keep every iteration (neighbor scans, clique enumeration,
+/// expiry sweeps) deterministic run-to-run, so simulations are reproducible
+/// from the scenario seed alone.
 #[derive(Clone, Debug, Default)]
 pub struct ShareGraph {
-    orders: HashMap<OrderId, Order>,
-    adj: HashMap<OrderId, HashMap<OrderId, PairEdge>>,
+    orders: BTreeMap<OrderId, Order>,
+    adj: BTreeMap<OrderId, BTreeMap<OrderId, PairEdge>>,
 }
 
 impl ShareGraph {

@@ -106,9 +106,8 @@ impl CityConfig {
             } else {
                 1.0
             };
-            let mut t = self.base_travel as f64
-                * noise
-                * if diag { std::f64::consts::SQRT_2 } else { 1.0 };
+            let mut t =
+                self.base_travel as f64 * noise * if diag { std::f64::consts::SQRT_2 } else { 1.0 };
             if arterial && self.topology == CityTopology::Arterial {
                 t /= self.arterial_speedup;
             }

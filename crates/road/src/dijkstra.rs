@@ -211,14 +211,26 @@ mod path_tests {
         let g = line(6);
         let p = shortest_path(&g, NodeId(1), NodeId(4)).unwrap();
         assert_eq!(p, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
-        let cost: i64 = p.windows(2).map(|w| 5).sum::<i64>();
+        // Sum the actual edge weights along the returned path.
+        let cost: i64 = p
+            .windows(2)
+            .map(|w| {
+                g.neighbors(w[0])
+                    .find(|&(n, _)| n == w[1])
+                    .map(|(_, d)| d)
+                    .expect("consecutive path nodes must be adjacent")
+            })
+            .sum();
         assert_eq!(cost, shortest_path_cost(&g, NodeId(1), NodeId(4)));
     }
 
     #[test]
     fn trivial_and_unreachable_paths() {
         let g = line(3);
-        assert_eq!(shortest_path(&g, NodeId(2), NodeId(2)), Some(vec![NodeId(2)]));
+        assert_eq!(
+            shortest_path(&g, NodeId(2), NodeId(2)),
+            Some(vec![NodeId(2)])
+        );
         let iso = RoadGraph::from_edges(vec![(0.0, 0.0), (1.0, 1.0)], vec![]);
         assert_eq!(shortest_path(&iso, NodeId(0), NodeId(1)), None);
     }

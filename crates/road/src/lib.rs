@@ -22,8 +22,8 @@
 
 pub mod citygen;
 pub mod dijkstra;
-pub mod grid;
 pub mod graph;
+pub mod grid;
 pub mod landmarks;
 pub mod matrix;
 

@@ -143,6 +143,54 @@ mod tests {
     }
 
     #[test]
+    fn disconnected_components_stay_isolated() {
+        // Two components: a 3-node path {0,1,2} and a 2-node path {3,4}.
+        let coords = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (10.0, 0.0), (11.0, 0.0)];
+        let e = |a: u32, b: u32, travel: Dur| Edge {
+            from: NodeId(a),
+            to: NodeId(b),
+            travel,
+        };
+        let g = RoadGraph::from_undirected_edges(coords, vec![e(0, 1, 5), e(1, 2, 7), e(3, 4, 11)]);
+        let m = CostMatrix::build(&g);
+
+        // Within-component distances are exact.
+        assert_eq!(m.cost(NodeId(0), NodeId(2)), 12);
+        assert_eq!(m.cost(NodeId(2), NodeId(0)), 12);
+        assert_eq!(m.cost(NodeId(3), NodeId(4)), 11);
+
+        // Every cross-component pair is unreachable, in both directions.
+        for a in [0u32, 1, 2] {
+            for b in [3u32, 4] {
+                assert!(!m.reachable(NodeId(a), NodeId(b)), "{a} -> {b}");
+                assert!(!m.reachable(NodeId(b), NodeId(a)), "{b} -> {a}");
+                assert_eq!(m.cost(NodeId(a), NodeId(b)), UNREACHABLE);
+                assert_eq!(m.cost(NodeId(b), NodeId(a)), UNREACHABLE);
+            }
+        }
+        // Nodes always reach themselves at zero cost.
+        for v in 0..5u32 {
+            assert!(m.reachable(NodeId(v), NodeId(v)));
+            assert_eq!(m.cost(NodeId(v), NodeId(v)), 0);
+        }
+
+        // Aggregates ignore the unreachable pairs entirely: finite
+        // distances are {5,7,12} and {11}, each counted in both directions.
+        assert_eq!(m.max_finite(), 12);
+        let expected_mean = (2.0 * (5.0 + 7.0 + 12.0) + 2.0 * 11.0) / 8.0;
+        assert!((m.mean_finite() - expected_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_disconnected_graph_has_zero_aggregates() {
+        let g = RoadGraph::from_edges(vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)], vec![]);
+        let m = CostMatrix::build(&g);
+        assert_eq!(m.max_finite(), 0);
+        assert_eq!(m.mean_finite(), 0.0);
+        assert_eq!(m.node_count(), 3);
+    }
+
+    #[test]
     fn mean_excludes_diagonal() {
         let g = ring(4);
         let m = CostMatrix::build(&g);

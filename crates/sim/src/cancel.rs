@@ -120,9 +120,7 @@ mod tests {
             impatience: 0.0,
         };
         let o = order(0, 1_000);
-        let cancelled = (0..1000)
-            .filter(|&s| m.cancels(&o, 500, s as u64))
-            .count();
+        let cancelled = (0..1000).filter(|&s| m.cancels(&o, 500, s as u64)).count();
         assert!(cancelled > 800, "only {cancelled}/1000 cancelled");
     }
 }

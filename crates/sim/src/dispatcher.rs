@@ -9,7 +9,7 @@
 use crate::env::build_env;
 use crate::fleet::Fleet;
 use watter_core::{
-    CostWeights, Group, Measurements, Order, OrderId, OrderOutcome, Route, Stop, Ts, TravelCost,
+    CostWeights, Group, Measurements, Order, OrderId, OrderOutcome, Route, Stop, TravelCost, Ts,
     WorkerId,
 };
 use watter_pool::{OrderPool, PoolConfig};
@@ -64,8 +64,7 @@ impl SimCtx<'_> {
     /// Returns `false` (leaving state untouched) if the worker is busy or
     /// lacks capacity.
     pub fn dispatch_group_to(&mut self, wid: WorkerId, group: &Group) -> bool {
-        let (Some(first), Some(last)) = (group.route.first_node(), group.route.last_node())
-        else {
+        let (Some(first), Some(last)) = (group.route.first_node(), group.route.last_node()) else {
             return false;
         };
         if !self.fleet.is_idle(wid, self.now)
@@ -229,9 +228,7 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
         // Impatience cancellations (implicit expirations, Section VI-A).
         if self.cancellation.is_active() {
             for o in self.pool.orders() {
-                if !dead.contains(&o.id)
-                    && self.cancellation.cancels(o, now, self.cancel_seed)
-                {
+                if !dead.contains(&o.id) && self.cancellation.cancels(o, now, self.cancel_seed) {
                     dead.push(o.id);
                 }
             }
@@ -249,11 +246,7 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
             }
         }
         // Lines 8–16: per-order decision on the current best group.
-        let mut ids: Vec<(Ts, OrderId)> = self
-            .pool
-            .orders()
-            .map(|o| (o.release, o.id))
-            .collect();
+        let mut ids: Vec<(Ts, OrderId)> = self.pool.orders().map(|o| (o.release, o.id)).collect();
         ids.sort_unstable();
         let check_period = self.check_period;
         for (_, id) in ids {
@@ -275,12 +268,7 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
                             Some(_) => {
                                 let members: Vec<OrderId> = group.order_ids().collect();
                                 for (idx, o) in group.orders.iter().enumerate() {
-                                    self.observer.on_dispatch(
-                                        o,
-                                        group.detours[idx],
-                                        now,
-                                        &env,
-                                    );
+                                    self.observer.on_dispatch(o, group.detours[idx], now, &env);
                                 }
                                 self.pool.remove_orders(&members, now, &ctx.oracle);
                                 true

@@ -9,7 +9,7 @@
 use crate::dispatcher::{Dispatcher, SimCtx};
 use crate::fleet::Fleet;
 use std::time::Instant;
-use watter_core::{CostWeights, Dur, Measurements, Order, Ts, TravelCost, Worker};
+use watter_core::{CostWeights, Dur, Measurements, Order, TravelCost, Ts, Worker};
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -123,10 +123,7 @@ mod tests {
 
     impl Dispatcher for Immediate {
         fn on_arrival(&mut self, order: Order, ctx: &mut SimCtx<'_>) {
-            match ctx.solo_group(&order).and_then(|g| {
-                let r = ctx.dispatch_group(&g);
-                r
-            }) {
+            match ctx.solo_group(&order).and_then(|g| ctx.dispatch_group(&g)) {
                 Some(_) => {}
                 None => ctx.reject(&order),
             }

@@ -5,7 +5,7 @@
 //! becomes idle at that location. The fleet tracks `(location, busy_until)`
 //! per worker and answers nearest-idle queries.
 
-use watter_core::{Dur, NodeId, Ts, TravelCost, Worker, WorkerId};
+use watter_core::{Dur, NodeId, TravelCost, Ts, Worker, WorkerId};
 
 /// Mutable runtime state of one worker.
 #[derive(Clone, Copy, Debug)]
@@ -102,7 +102,7 @@ impl Fleet {
                 continue;
             }
             let d = oracle.cost(s.loc, target);
-            if best.map_or(true, |(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, WorkerId(i as u32)));
             }
         }

@@ -38,7 +38,12 @@ const MIN_TRIP_SECONDS: i64 = 120;
 impl Scenario {
     /// Deterministically build the scenario.
     pub fn build(params: ScenarioParams) -> Self {
-        let graph = Arc::new(params.profile.city_config(params.city_side).generate(params.seed));
+        let graph = Arc::new(
+            params
+                .profile
+                .city_config(params.city_side)
+                .generate(params.seed),
+        );
         let oracle = Arc::new(CostMatrix::build(&graph));
         let grid = GridIndex::build(&graph, params.grid_dim);
         let mut rng = StdRng::seed_from_u64(params.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -79,8 +84,7 @@ impl Scenario {
             }
             trips.push((release, pickup, dropoff));
             // Echo chain: geometric number of correlated followers.
-            while trips.len() < params.n_orders && rng.gen_bool(params.echo_prob.clamp(0.0, 0.95))
-            {
+            while trips.len() < params.n_orders && rng.gen_bool(params.echo_prob.clamp(0.0, 0.95)) {
                 let delay = rng.gen_range(5..=120);
                 let er = (release + delay).min(params.window_start + params.window_span - 1);
                 let ep = jitter(pickup, &mut rng);
@@ -137,7 +141,11 @@ impl Scenario {
         if self.orders.is_empty() {
             return 0.0;
         }
-        self.orders.iter().map(|o| o.direct_cost as f64).sum::<f64>() / self.orders.len() as f64
+        self.orders
+            .iter()
+            .map(|o| o.direct_cost as f64)
+            .sum::<f64>()
+            / self.orders.len() as f64
     }
 }
 

@@ -102,7 +102,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..5_000 {
             let t = m.sample(&mut rng);
-            assert!(t >= 7 * 3600 && t < 9 * 3600, "t = {t}");
+            assert!((7 * 3600..9 * 3600).contains(&t), "t = {t}");
         }
     }
 

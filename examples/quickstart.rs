@@ -51,7 +51,16 @@ fn main() {
         .enumerate()
         .map(|(i, &(t, p, d))| {
             let direct = oracle.cost(NodeId(p), NodeId(d));
-            Order::from_scales(OrderId(i as u32), NodeId(p), NodeId(d), 1, t, direct, 6.0, 2.0)
+            Order::from_scales(
+                OrderId(i as u32),
+                NodeId(p),
+                NodeId(d),
+                1,
+                t,
+                direct,
+                6.0,
+                2.0,
+            )
         })
         .collect();
 

@@ -27,8 +27,12 @@ fn main() {
     let training = Scenario::build(train_params);
     let evaluation = Scenario::build(params);
 
-    println!("training on {} ({} orders, {} workers) …", profile.tag(),
-        training.orders.len(), training.workers.len());
+    println!(
+        "training on {} ({} orders, {} workers) …",
+        profile.tag(),
+        training.orders.len(),
+        training.workers.len()
+    );
     let t0 = std::time::Instant::now();
     let trained = train(&training, &TrainingConfig::default());
     println!(

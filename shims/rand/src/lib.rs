@@ -1,0 +1,302 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, deterministic implementation of the slice of the rand 0.8 API
+//! that the WATTER crates use: [`Rng::gen`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`]. The generator is xoshiro256** seeded via SplitMix64 —
+//! high quality, tiny, and reproducible across platforms.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit word (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a [`Standard`]-distributed type (`f32`/`f64` in
+    /// `[0, 1)`, full-range integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    ///
+    /// Panics when the range is empty, matching rand 0.8.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`, matching rand 0.8.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be drawn from the "standard" distribution of rand 0.8.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types `gen_range` can sample uniformly. Mirrors rand's `SampleUniform`;
+/// keeping the range impls generic over one `T` (instead of one impl per
+/// concrete range type) is what lets integer-literal ranges infer their type
+/// from surrounding arithmetic, exactly as with real rand.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Ranges a value of type `T` can be drawn from uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value; panics if the range is empty.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Multiply-shift rejection-free bounded sampling (Lemire); the tiny modulo
+/// bias of the plain multiply is irrelevant for simulation workloads.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+// The span must be computed at 64-bit width: subtracting at a narrower
+// width (e.g. `-100i8..100`) wraps and then sign-extends into a bogus huge
+// span. For signed types the i64 difference reinterpreted as u64 is exact
+// even when it overflows i64 (two's-complement modular arithmetic), and
+// `lo.wrapping_add` folds the draw back into range.
+macro_rules! uniform_int {
+    ($cast:ty => $($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $cast).wrapping_sub(lo as $cast) as u64;
+                lo.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $cast).wrapping_sub(lo as $cast) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+uniform_int!(u64 => u8, u16, u32, u64, usize);
+uniform_int!(i64 => i8, i16, i32, i64, isize);
+
+// Endpoint care: `lo + u*(hi-lo)` can round up to exactly `hi` even though
+// `u < 1`, so the half-open form clamps to the largest value below `hi`;
+// the inclusive form draws `u` from [0, 1] (denominator 2^bits − 1) so `hi`
+// is genuinely reachable, and clamps against rounding past either end.
+macro_rules! uniform_float {
+    ($($t:ty, $bits:expr);*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = <$t as Standard>::sample(rng); // [0, 1)
+                let v = lo + u * (hi - lo);
+                if v >= hi {
+                    hi.next_down().max(lo)
+                } else {
+                    v.max(lo)
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let draw = rng.next_u64() >> (64 - $bits);
+                let u = draw as $t / (((1u64 << $bits) - 1) as $t); // [0, 1]
+                (lo + u * (hi - lo)).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, 24; f64, 53);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10u32);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            // Narrow signed ranges whose span overflows the type width.
+            let n = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&n));
+            let m = rng.gen_range(i8::MIN..=i8::MAX);
+            assert!((i8::MIN..=i8::MAX).contains(&m));
+            let f = rng.gen_range(-0.25..0.25f64);
+            assert!((-0.25..0.25).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn float_half_open_excludes_hi_even_under_rounding() {
+        // A generator pinned at the maximal draw (u = 1 − 2⁻⁵³) makes
+        // `lo + u*(hi-lo)` round to exactly `hi` when hi = next_up(lo).
+        struct MaxRng;
+        impl RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let lo = 1.0f64;
+        let hi = lo.next_up();
+        let v = f64::sample_half_open(&mut MaxRng, lo, hi);
+        assert!(v < hi, "half-open draw produced hi = {hi}");
+        assert!(v >= lo);
+        // Inclusive form reaches hi at the maximal draw.
+        let w = f64::sample_inclusive(&mut MaxRng, 0.25f64, 0.75);
+        assert_eq!(w, 0.75);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for `serde_json`, backed by the serde shim's [`Value`]
+//! tree. Provides the three entry points the WATTER workspace uses:
+//! [`to_string`], [`to_string_pretty`] and [`from_str`].
+
+pub use serde::{Error, Value};
+
+/// Render `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render())
+}
+
+/// Render `value` as pretty JSON with two-space indentation.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render_pretty())
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_json_value(&parse_value(s)?)
+}
+
+/// Parse JSON text into a raw [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    serde::parse_json(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: i64,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Event {
+        Ping,
+        Move { dx: i32, dy: i32 },
+        Tag(String),
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(u32);
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point {
+            x: 1.5,
+            y: -3,
+            label: "a \"b\"\n".to_string(),
+        };
+        let s = super::to_string(&p).unwrap();
+        assert_eq!(super::from_str::<Point>(&s).unwrap(), p);
+        let pretty = super::to_string_pretty(&p).unwrap();
+        assert_eq!(super::from_str::<Point>(&pretty).unwrap(), p);
+    }
+
+    #[test]
+    fn enum_roundtrip() {
+        for e in [
+            Event::Ping,
+            Event::Move { dx: -1, dy: 9 },
+            Event::Tag("x".into()),
+        ] {
+            let s = super::to_string(&e).unwrap();
+            assert_eq!(super::from_str::<Event>(&s).unwrap(), e);
+        }
+        assert_eq!(super::to_string(&Event::Ping).unwrap(), "\"Ping\"");
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(super::to_string(&Wrapper(7)).unwrap(), "7");
+        assert_eq!(super::from_str::<Wrapper>("7").unwrap(), Wrapper(7));
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let v: Vec<Option<u8>> = vec![Some(1), None, Some(3)];
+        let s = super::to_string(&v).unwrap();
+        assert_eq!(s, "[1,null,3]");
+        assert_eq!(super::from_str::<Vec<Option<u8>>>(&s).unwrap(), v);
+    }
+}

@@ -105,11 +105,7 @@ pub fn train(training: &Scenario, cfg: &TrainingConfig) -> TrainedWatter {
 
     // Phase 3: experience generation under the GMM threshold policy.
     let featurizer = StateFeaturizer::new(training.grid.clone(), training.params.check_period);
-    let recorder = TransitionRecorder::new(
-        featurizer,
-        Some(gmm.clone()),
-        cfg.replay_capacity,
-    );
+    let recorder = TransitionRecorder::new(featurizer, Some(gmm.clone()), cfg.replay_capacity);
     let mut generator = WatterDispatcher::with_observer(
         watter_config(training),
         ThresholdPolicy::new(

@@ -143,10 +143,7 @@ pub fn run_measured(scenario: &Scenario, algo: Algo) -> Measurements {
         Algo::WatterConstant(theta) => {
             let mut d = WatterDispatcher::new(
                 watter_config(scenario),
-                ThresholdPolicy::new(
-                    watter_strategy::ConstantThreshold(theta),
-                    cfg.check_period,
-                ),
+                ThresholdPolicy::new(watter_strategy::ConstantThreshold(theta), cfg.check_period),
             );
             run(orders, workers, &mut d, oracle, cfg)
         }

@@ -62,6 +62,31 @@ fn runs_are_deterministic() {
 }
 
 #[test]
+fn workload_generation_is_deterministic() {
+    // Rebuilding from identical params must reproduce the exact same
+    // orders, workers and simulation outcome: everything downstream of
+    // `ScenarioParams::seed` is seeded explicitly, and all pool/dispatch
+    // iteration happens over ordered containers.
+    let s1 = small_scenario();
+    let s2 = small_scenario();
+    assert_eq!(s1.orders, s2.orders, "order stream must be seed-determined");
+    assert_eq!(s1.workers, s2.workers, "fleet must be seed-determined");
+    let a = run_algorithm(&s1, Algo::WatterOnline);
+    let b = run_algorithm(&s2, Algo::WatterOnline);
+    assert_eq!(a.extra_time, b.extra_time);
+    assert_eq!(a.unified_cost, b.unified_cost);
+    assert_eq!(a.service_rate_pct, b.service_rate_pct);
+    assert_eq!(a.mean_group_size, b.mean_group_size);
+
+    // A different seed must actually change the workload. Derive the
+    // params from s1 so this stays honest if small_scenario() is retuned.
+    let mut p = s1.params.clone();
+    p.seed ^= 0x5EED;
+    let s3 = Scenario::build(p);
+    assert_ne!(s1.orders, s3.orders, "seed must drive workload generation");
+}
+
+#[test]
 fn served_extra_time_never_exceeds_penalty() {
     // Section V-B: t_e ≤ p holds for every served order, so the objective
     // of any dispatcher is bounded by rejecting everything.
@@ -87,8 +112,10 @@ fn training_pipeline_produces_usable_value_function() {
     let mut tp = p.clone();
     tp.seed ^= 0xDEAD_BEEF;
     let training = Scenario::build(tp);
-    let mut cfg = TrainingConfig::default();
-    cfg.train_steps = 100;
+    let cfg = TrainingConfig {
+        train_steps: 100,
+        ..TrainingConfig::default()
+    };
     let trained = train(&training, &cfg);
     assert!(trained.history_len > 0, "phase 1 must collect history");
     assert!(trained.transitions > 0, "phase 3 must record transitions");
@@ -135,8 +162,10 @@ fn value_function_persists_and_reloads() {
     p.n_workers = 25;
     p.city_side = 12;
     p.seed ^= 0xDEAD_BEEF;
-    let mut cfg = TrainingConfig::default();
-    cfg.train_steps = 50;
+    let cfg = TrainingConfig {
+        train_steps: 50,
+        ..TrainingConfig::default()
+    };
     let trained = train(&Scenario::build(p), &cfg);
 
     let dir = std::env::temp_dir().join("watter_model_test");
@@ -174,15 +203,23 @@ fn cancellation_reduces_service_not_correctness() {
     use watter_sim::CancellationModel;
     let s = small_scenario();
     let off = run_measured(&s, Algo::WatterOnlineCancel(CancellationModel::OFF));
+    let mild = run_measured(&s, Algo::WatterOnlineCancel(CancellationModel::mild()));
+    // The hazard must be genuinely heavy for service to drop: under
+    // overload, mild abandonment relieves congestion and can *raise* the
+    // goodput of the remaining orders (standard queueing-with-reneging
+    // behavior), so monotonicity only holds once cancellations dominate
+    // that relief effect.
     let heavy = run_measured(
         &s,
         Algo::WatterOnlineCancel(CancellationModel {
-            base_hazard: 0.01,
-            impatience: 0.1,
+            base_hazard: 0.05,
+            impatience: 0.3,
         }),
     );
     // Every order still reaches a terminal outcome under cancellation.
+    assert_eq!(mild.total_orders, s.orders.len() as u64);
     assert_eq!(heavy.total_orders, s.orders.len() as u64);
-    assert!(heavy.served_orders <= off.served_orders);
-    assert!(heavy.rejected_orders >= off.rejected_orders);
+    assert_eq!(mild.served_orders + mild.rejected_orders, mild.total_orders);
+    assert!(heavy.served_orders < off.served_orders);
+    assert!(heavy.rejected_orders > off.rejected_orders);
 }

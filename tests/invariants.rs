@@ -73,7 +73,7 @@ fn brute_force_cost(orders: &[&Order], now: Ts, capacity: u32) -> Option<Dur> {
                     }
                 }
             }
-            if best.map_or(true, |b| t < b) {
+            if best.is_none_or(|b| t < b) {
                 *best = Some(t);
             }
             return;
