@@ -3,9 +3,10 @@
 //! framework.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
 use watter::prelude::*;
 use watter_core::NodeId;
-use watter_road::{dijkstra, GridIndex};
+use watter_road::{dijkstra, AltOracle, GridIndex};
 
 fn bench_road(c: &mut Criterion) {
     let city = CityConfig {
@@ -40,9 +41,52 @@ fn bench_road(c: &mut Criterion) {
     g.finish();
 }
 
+/// Oracle subsystem benches: parallel vs serial APSP construction, and the
+/// point-query latency ladder (dense lookup ≪ ALT A* < plain Dijkstra).
+/// On a ≥ 4-core host the parallel build should come in ≥ 2× under the
+/// serial one; on a single core the two coincide.
+fn bench_oracle(c: &mut Criterion) {
+    let city = CityConfig {
+        width: 16,
+        height: 16,
+        ..CityConfig::default()
+    }
+    .generate(7);
+
+    let big = Arc::new(
+        CityConfig {
+            width: 40,
+            height: 40,
+            ..CityConfig::default()
+        }
+        .generate(7),
+    );
+    let dense = CostMatrix::build(&big);
+    let alt = AltOracle::build(Arc::clone(&big), 16);
+    let far = NodeId((big.node_count() - 1) as u32);
+
+    let mut g = c.benchmark_group("oracle");
+    g.bench_function("apsp_build_serial_16x16", |b| {
+        b.iter(|| CostMatrix::build_serial(black_box(&city)))
+    });
+    g.bench_function("apsp_build_parallel_16x16", |b| {
+        b.iter(|| CostMatrix::build(black_box(&city)))
+    });
+    g.bench_function("dense_lookup_40x40", |b| {
+        b.iter(|| watter_core::TravelCost::cost(&dense, black_box(NodeId(17)), black_box(far)))
+    });
+    g.bench_function("alt_point_query_40x40", |b| {
+        b.iter(|| watter_core::TravelCost::cost(&alt, black_box(NodeId(17)), black_box(far)))
+    });
+    g.bench_function("dijkstra_point_query_40x40", |b| {
+        b.iter(|| dijkstra::shortest_path_cost(&big, black_box(NodeId(17)), black_box(far)))
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_road
+    targets = bench_road, bench_oracle
 }
 criterion_main!(benches);

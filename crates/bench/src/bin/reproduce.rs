@@ -4,7 +4,8 @@
 //! cargo run -p watter-bench --release --bin reproduce -- [exp] [scale]
 //! ```
 //!
-//! `exp` ∈ {example1, fig3, fig4, fig5, fig6, eta, dt, grid, omega, all};
+//! `exp` ∈ {example1, fig3, fig4, fig5, fig6, eta, dt, grid, omega,
+//! ablations, oracle, all};
 //! `scale` shrinks order/worker counts (default 1.0). Results are printed
 //! as tables and written to `results/<exp>.json`.
 
@@ -54,6 +55,23 @@ fn omega(scale: f64) {
     write_json(&results_path("omega"), &rows).expect("write results");
 }
 
+fn oracle() {
+    println!("\n## Oracle study: build/query trade-off per backend");
+    println!(
+        "{:<6} {:>8} {:<16} {:>12} {:>14} {:>12}",
+        "side", "nodes", "backend", "build (ms)", "memory (B)", "query (µs)"
+    );
+    let rows = experiments::oracle_study(&[12, 20, 32]);
+    for r in &rows {
+        println!(
+            "{:<6} {:>8} {:<16} {:>12.1} {:>14} {:>12.2}",
+            r.city_side, r.nodes, r.backend, r.build_ms, r.bytes, r.query_us
+        );
+    }
+    write_json(&results_path("oracle"), &rows).expect("write results");
+    eprintln!("[oracle] -> results/oracle.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let exp = args.get(1).map(|s| s.as_str()).unwrap_or("all");
@@ -83,6 +101,7 @@ fn main() {
             experiments::appendix_grid(scale)
         }),
         "omega" => omega(scale),
+        "oracle" => oracle(),
         "ablations" => run_figure(
             "ablations",
             "Ablations: clique fan-out, demand correlation, cancellation",
@@ -117,9 +136,10 @@ fn main() {
                 "Ablations: clique fan-out, demand correlation, cancellation",
                 || experiments::ablations(scale),
             );
+            oracle();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|all");
+            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|oracle|all");
             std::process::exit(2);
         }
     }

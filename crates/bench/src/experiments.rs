@@ -331,6 +331,106 @@ pub fn ablations(scale: f64) -> Vec<ExperimentRow> {
     rows
 }
 
+/// One row of the oracle engineering study: a (city size, backend)
+/// build/query measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OracleBenchRow {
+    /// City side length in blocks.
+    pub city_side: usize,
+    /// Node count (`side²`).
+    pub nodes: usize,
+    /// Backend tag: `dense-serial`, `dense-parallel`, `alt16`, `dijkstra`.
+    pub backend: String,
+    /// One-off construction time, milliseconds.
+    pub build_ms: f64,
+    /// Resident size of the precomputed structure, bytes.
+    pub bytes: u64,
+    /// Mean point-query latency over a fixed random pair set, microseconds.
+    pub query_us: f64,
+}
+
+/// Travel-cost oracle study: build time, memory and point-query latency of
+/// the dense table (serial and parallel build), the ALT oracle and raw
+/// Dijkstra across city sizes. All four backends return bit-identical
+/// costs; this quantifies the memory/latency trade-off documented in the
+/// README.
+pub fn oracle_study(sides: &[usize]) -> Vec<OracleBenchRow> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use watter_core::NodeId;
+    use watter_road::{dijkstra, AltOracle, CostMatrix, RoadGraph};
+
+    const QUERIES: usize = 2_000;
+    const LANDMARKS: usize = 16;
+
+    let mut rows = Vec::new();
+    for &side in sides {
+        let graph = Arc::new(CityProfile::Chengdu.city_config(side).generate(7));
+        let n = graph.node_count();
+        let mut rng = StdRng::seed_from_u64(side as u64);
+        let pairs: Vec<(NodeId, NodeId)> = (0..QUERIES)
+            .map(|_| {
+                (
+                    NodeId(rng.gen_range(0..n as u32)),
+                    NodeId(rng.gen_range(0..n as u32)),
+                )
+            })
+            .collect();
+        let time_queries = |f: &dyn Fn(NodeId, NodeId) -> i64| {
+            let t0 = Instant::now();
+            let mut acc = 0i64;
+            for &(a, b) in &pairs {
+                acc = acc.wrapping_add(f(a, b));
+            }
+            std::hint::black_box(acc);
+            t0.elapsed().as_secs_f64() * 1e6 / QUERIES as f64
+        };
+        let mut push = |backend: &str, build_ms: f64, bytes: u64, query_us: f64| {
+            rows.push(OracleBenchRow {
+                city_side: side,
+                nodes: n,
+                backend: backend.to_string(),
+                build_ms,
+                bytes,
+                query_us,
+            });
+        };
+
+        let t0 = Instant::now();
+        let serial = CostMatrix::build_serial(&graph);
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let q = time_queries(&|a, b| watter_core::TravelCost::cost(&serial, a, b));
+        push("dense-serial", serial_ms, (n * n * 4) as u64, q);
+        drop(serial);
+
+        let t0 = Instant::now();
+        let parallel = CostMatrix::build(&graph);
+        let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let q = time_queries(&|a, b| watter_core::TravelCost::cost(&parallel, a, b));
+        push("dense-parallel", parallel_ms, (n * n * 4) as u64, q);
+        drop(parallel);
+
+        let t0 = Instant::now();
+        let alt = AltOracle::build(Arc::clone(&graph), LANDMARKS);
+        let alt_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let q = time_queries(&|a, b| watter_core::TravelCost::cost(&alt, a, b));
+        push(
+            &format!("alt{LANDMARKS}"),
+            alt_ms,
+            alt.landmark_bytes() as u64,
+            q,
+        );
+        drop(alt);
+
+        let graph_ref: &RoadGraph = &graph;
+        let q = time_queries(&|a, b| dijkstra::shortest_path_cost(graph_ref, a, b));
+        push("dijkstra", 0.0, 0, q);
+    }
+    rows
+}
+
 /// Example 1 (Figure 1 + Table I): the worked 6-node example.
 pub mod example1 {
     use watter::prelude::*;

@@ -12,12 +12,18 @@ use crate::route::Route;
 use crate::time::{Dur, Ts};
 use crate::TravelCost;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A shareable order group with its planned minimal-cost feasible route.
+///
+/// Orders are held as shared [`Arc`] handles: group enumeration builds many
+/// candidate groups per pooled order, and cloning a group (or offering it to
+/// each member) must bump reference counts rather than deep-copy every
+/// `Order`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Group {
     /// Orders in the group, in pick-up order of the route.
-    pub orders: Vec<Order>,
+    pub orders: Vec<Arc<Order>>,
     /// The minimal-cost feasible route found by the planner.
     pub route: Route,
     /// Detour time `t_d^(i)` of each order, aligned with `orders`.
@@ -40,10 +46,18 @@ pub struct GroupQuality {
 impl Group {
     /// Build a group, computing detours from the route.
     ///
+    /// Accepts owned `Order`s (wrapped into fresh [`Arc`]s) or existing
+    /// `Arc<Order>` handles (shared, no deep copy).
+    ///
     /// # Panics
     /// Panics (in debug builds) if some order's drop-off is missing from the
     /// route — planners must only emit complete routes.
-    pub fn new(orders: Vec<Order>, route: Route, oracle: &impl TravelCost) -> Self {
+    pub fn new<O: Into<Arc<Order>>>(
+        orders: Vec<O>,
+        route: Route,
+        oracle: &impl TravelCost,
+    ) -> Self {
+        let orders: Vec<Arc<Order>> = orders.into_iter().map(Into::into).collect();
         let detours = orders
             .iter()
             .map(|o| {

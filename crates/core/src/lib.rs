@@ -30,6 +30,7 @@ pub mod group;
 pub mod ids;
 pub mod metrics;
 pub mod objective;
+pub mod oracle;
 pub mod order;
 pub mod route;
 pub mod time;
@@ -42,6 +43,7 @@ pub use group::{Group, GroupQuality};
 pub use ids::{NodeId, OrderId, WorkerId};
 pub use metrics::{Measurements, OrderOutcome, RunStats};
 pub use objective::{extra_time, CostWeights};
+pub use oracle::{OracleKind, DEFAULT_LANDMARKS, DENSE_NODE_LIMIT};
 pub use order::Order;
 pub use route::{Route, Stop, StopKind};
 pub use time::{Dur, Ts};

@@ -1,0 +1,105 @@
+//! Travel-cost oracle selection.
+//!
+//! The framework answers every `cost(a, b)` query through the
+//! [`TravelCost`](crate::TravelCost) trait, so the *backend* is a deployment
+//! choice: a dense all-pairs table is unbeatable for the paper's 10³–10⁴
+//! node cities but needs `n² × 4` bytes, while landmark-guided A* (ALT)
+//! answers exact point queries from `O(k·n)` memory and scales to 10⁵-node
+//! cities where the table cannot exist. [`OracleKind`] is the configuration
+//! vocabulary shared by workload generation, the simulator and the CLI; the
+//! concrete oracles live in `watter-road`.
+
+use serde::{Deserialize, Serialize};
+
+/// Which travel-time oracle to build for a road graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleKind {
+    /// Pick by node count: the dense table up to
+    /// [`DENSE_NODE_LIMIT`] nodes, the ALT oracle with
+    /// [`DEFAULT_LANDMARKS`] landmarks beyond.
+    #[default]
+    Auto,
+    /// Dense all-pairs table: O(1) queries, `n² × 4` bytes, `n` Dijkstra
+    /// sweeps to build (parallelized across cores).
+    Dense,
+    /// Landmark-guided A* (ALT): exact point queries in milliseconds from
+    /// `O(landmarks × n)` memory; build cost is `landmarks` Dijkstra
+    /// sweeps.
+    Alt {
+        /// Number of farthest-point-sampled landmarks (8–32 is typical;
+        /// more landmarks tighten the heuristic but cost memory and build
+        /// time).
+        landmarks: usize,
+    },
+}
+
+/// Largest node count for which [`OracleKind::Auto`] still picks the dense
+/// table (`8192² × 4 B = 256 MiB`, the upper end of comfortable).
+pub const DENSE_NODE_LIMIT: usize = 8_192;
+
+/// Landmark count [`OracleKind::Auto`] uses when it falls back to ALT.
+pub const DEFAULT_LANDMARKS: usize = 16;
+
+impl OracleKind {
+    /// Resolve `Auto` against a concrete node count, returning either
+    /// `Dense` or `Alt`.
+    pub fn resolve(self, node_count: usize) -> OracleKind {
+        match self {
+            OracleKind::Auto => {
+                if node_count <= DENSE_NODE_LIMIT {
+                    OracleKind::Dense
+                } else {
+                    OracleKind::Alt {
+                        landmarks: DEFAULT_LANDMARKS,
+                    }
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_by_node_count() {
+        assert_eq!(OracleKind::Auto.resolve(100), OracleKind::Dense);
+        assert_eq!(
+            OracleKind::Auto.resolve(DENSE_NODE_LIMIT),
+            OracleKind::Dense
+        );
+        assert_eq!(
+            OracleKind::Auto.resolve(DENSE_NODE_LIMIT + 1),
+            OracleKind::Alt {
+                landmarks: DEFAULT_LANDMARKS
+            }
+        );
+    }
+
+    #[test]
+    fn concrete_kinds_resolve_to_themselves() {
+        assert_eq!(OracleKind::Dense.resolve(1_000_000), OracleKind::Dense);
+        let alt = OracleKind::Alt { landmarks: 4 };
+        assert_eq!(alt.resolve(10), alt);
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(OracleKind::default(), OracleKind::Auto);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for kind in [
+            OracleKind::Auto,
+            OracleKind::Dense,
+            OracleKind::Alt { landmarks: 12 },
+        ] {
+            let json = serde_json::to_string(&kind).expect("serialize");
+            let back: OracleKind = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, kind);
+        }
+    }
+}

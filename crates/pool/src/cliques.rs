@@ -13,6 +13,7 @@
 
 use crate::planner::{plan_min_cost, PlanLimits};
 use crate::share_graph::ShareGraph;
+use std::sync::Arc;
 use watter_core::{CostWeights, Group, Order, OrderId, TravelCost, Ts};
 
 /// Knobs bounding clique search.
@@ -40,7 +41,7 @@ impl Default for CliqueLimits {
 /// `center`, i.e. a validated clique of size ≥ 2, or `None` if the order has
 /// no live shareable partner.
 pub fn best_group_for<C: TravelCost>(
-    center: &Order,
+    center: &Arc<Order>,
     graph: &ShareGraph,
     now: Ts,
     limits: PlanLimits,
@@ -59,14 +60,13 @@ pub fn best_group_for<C: TravelCost>(
     }
     neighbors.sort_by_key(|&(j, c)| (c, j.0));
     neighbors.truncate(clique.max_neighbors);
-    let candidates: Vec<&Order> = neighbors
+    let candidates: Vec<&Arc<Order>> = neighbors
         .iter()
-        .filter_map(|&(j, _)| graph.order(j))
+        .filter_map(|&(j, _)| graph.order_handle(j))
         .collect();
 
     let mut best: Option<(f64, Group)> = None;
-    let mut members: Vec<&Order> = Vec::with_capacity(clique.max_group_size);
-    members.push(center);
+    let mut members = Members::with_center(center, clique.max_group_size);
     grow(
         &mut members,
         &candidates,
@@ -85,7 +85,7 @@ pub fn best_group_for<C: TravelCost>(
 /// Enumerate **all** validated shared groups (size ≥ 2) containing `center`
 /// — used by tests and by the GAS baseline's additive construction.
 pub fn all_groups_for<C: TravelCost>(
-    center: &Order,
+    center: &Arc<Order>,
     graph: &ShareGraph,
     now: Ts,
     limits: PlanLimits,
@@ -99,12 +99,12 @@ pub fn all_groups_for<C: TravelCost>(
         .collect();
     neighbors.sort_by_key(|&(j, c)| (c, j.0));
     neighbors.truncate(clique.max_neighbors);
-    let candidates: Vec<&Order> = neighbors
+    let candidates: Vec<&Arc<Order>> = neighbors
         .iter()
-        .filter_map(|&(j, _)| graph.order(j))
+        .filter_map(|&(j, _)| graph.order_handle(j))
         .collect();
     let mut out = Vec::new();
-    let mut members: Vec<&Order> = vec![center];
+    let mut members = Members::with_center(center, clique.max_group_size);
     collect(
         &mut members,
         &candidates,
@@ -119,10 +119,53 @@ pub fn all_groups_for<C: TravelCost>(
     out
 }
 
+/// The clique under construction: shared handles (cloned into emitted
+/// groups for the price of a refcount bump) plus a parallel plain-reference
+/// vector kept in sync for the planner, so the hot search loop allocates
+/// nothing per candidate.
+struct Members<'a> {
+    handles: Vec<&'a Arc<Order>>,
+    refs: Vec<&'a Order>,
+}
+
+impl<'a> Members<'a> {
+    fn with_center(center: &'a Arc<Order>, capacity: usize) -> Self {
+        let mut m = Self {
+            handles: Vec::with_capacity(capacity),
+            refs: Vec::with_capacity(capacity),
+        };
+        m.push(center);
+        m
+    }
+
+    fn push(&mut self, o: &'a Arc<Order>) {
+        self.handles.push(o);
+        self.refs.push(o.as_ref());
+    }
+
+    fn pop(&mut self) {
+        self.handles.pop();
+        self.refs.pop();
+    }
+
+    fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn riders(&self) -> u32 {
+        self.refs.iter().map(|o| o.riders).sum()
+    }
+
+    /// Clone the member handles into a group's order list.
+    fn to_orders(&self) -> Vec<Arc<Order>> {
+        self.handles.iter().map(|&o| Arc::clone(o)).collect()
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn grow<'a, C: TravelCost>(
-    members: &mut Vec<&'a Order>,
-    candidates: &[&'a Order],
+    members: &mut Members<'a>,
+    candidates: &[&'a Arc<Order>],
     from: usize,
     graph: &ShareGraph,
     now: Ts,
@@ -133,16 +176,15 @@ fn grow<'a, C: TravelCost>(
     best: &mut Option<(f64, Group)>,
 ) {
     for (i, cand) in candidates.iter().enumerate().skip(from) {
-        if !extends_clique(members, cand, graph) {
+        if !extends_clique(&members.refs, cand, graph) {
             continue;
         }
-        let riders: u32 = members.iter().map(|o| o.riders).sum::<u32>() + cand.riders;
-        if riders > limits.capacity {
+        if members.riders() + cand.riders > limits.capacity {
             continue;
         }
         members.push(cand);
-        if let Some(route) = plan_min_cost(members, now, limits, oracle) {
-            let group = Group::new(members.iter().map(|&o| o.clone()).collect(), route, oracle);
+        if let Some(route) = plan_min_cost(&members.refs, now, limits, oracle) {
+            let group = Group::new(members.to_orders(), route, oracle);
             let mean = group.mean_extra_time(now, weights);
             let better = match best {
                 Some((b, _)) => mean < *b,
@@ -175,8 +217,8 @@ fn grow<'a, C: TravelCost>(
 
 #[allow(clippy::too_many_arguments)]
 fn collect<'a, C: TravelCost>(
-    members: &mut Vec<&'a Order>,
-    candidates: &[&'a Order],
+    members: &mut Members<'a>,
+    candidates: &[&'a Arc<Order>],
     from: usize,
     graph: &ShareGraph,
     now: Ts,
@@ -186,20 +228,15 @@ fn collect<'a, C: TravelCost>(
     out: &mut Vec<Group>,
 ) {
     for (i, cand) in candidates.iter().enumerate().skip(from) {
-        if !extends_clique(members, cand, graph) {
+        if !extends_clique(&members.refs, cand, graph) {
             continue;
         }
-        let riders: u32 = members.iter().map(|o| o.riders).sum::<u32>() + cand.riders;
-        if riders > limits.capacity {
+        if members.riders() + cand.riders > limits.capacity {
             continue;
         }
         members.push(cand);
-        if let Some(route) = plan_min_cost(members, now, limits, oracle) {
-            out.push(Group::new(
-                members.iter().map(|&o| o.clone()).collect(),
-                route,
-                oracle,
-            ));
+        if let Some(route) = plan_min_cost(&members.refs, now, limits, oracle) {
+            out.push(Group::new(members.to_orders(), route, oracle));
             if members.len() < clique.max_group_size {
                 collect(
                     members,
@@ -264,7 +301,7 @@ mod tests {
     #[test]
     fn lone_order_has_no_shared_group() {
         let g = setup(vec![order(0, 0, 10, 10_000)]);
-        let center = g.order(OrderId(0)).unwrap().clone();
+        let center = g.order_handle(OrderId(0)).unwrap().clone();
         assert!(best_group_for(
             &center,
             &g,
@@ -280,7 +317,7 @@ mod tests {
     #[test]
     fn pair_group_found() {
         let g = setup(vec![order(0, 0, 10, 10_000), order(1, 2, 8, 10_000)]);
-        let center = g.order(OrderId(0)).unwrap().clone();
+        let center = g.order_handle(OrderId(0)).unwrap().clone();
         let best = best_group_for(
             &center,
             &g,
@@ -308,7 +345,7 @@ mod tests {
             order(1, 1, 9, 10_000),
             order(2, 2, 8, 10_000),
         ]);
-        let center = g.order(OrderId(0)).unwrap().clone();
+        let center = g.order_handle(OrderId(0)).unwrap().clone();
         let all = all_groups_for(&center, &g, 0, limits(), CliqueLimits::default(), &Line);
         assert!(all.iter().any(|gr| gr.len() == 3), "triple clique missing");
         // 2 pairs containing o0 + 1 triple
@@ -322,7 +359,7 @@ mod tests {
             order(1, 1, 9, 10_000),
             order(2, 2, 8, 10_000),
         ]);
-        let center = g.order(OrderId(0)).unwrap().clone();
+        let center = g.order_handle(OrderId(0)).unwrap().clone();
         let tight = PlanLimits { capacity: 2 };
         let all = all_groups_for(&center, &g, 0, tight, CliqueLimits::default(), &Line);
         assert!(all.iter().all(|gr| gr.len() <= 2));
@@ -336,7 +373,7 @@ mod tests {
             order(2, 2, 8, 10_000),
             order(3, 3, 7, 10_000),
         ]);
-        let center = g.order(OrderId(0)).unwrap().clone();
+        let center = g.order_handle(OrderId(0)).unwrap().clone();
         let cl = CliqueLimits {
             max_group_size: 2,
             max_neighbors: 12,
@@ -353,7 +390,7 @@ mod tests {
             order(1, 0, 10, 10_000),
             order(2, 5, 20, 10_000),
         ]);
-        let center = g.order(OrderId(0)).unwrap().clone();
+        let center = g.order_handle(OrderId(0)).unwrap().clone();
         let best = best_group_for(
             &center,
             &g,

@@ -114,7 +114,11 @@ impl OrderPool {
         self.stats.inserted += 1;
         let id = order.id;
         self.graph.insert(order, now, self.cfg.limits, oracle);
-        let center = self.graph.order(id).expect("order just inserted").clone();
+        let center = self
+            .graph
+            .order_handle(id)
+            .expect("order just inserted")
+            .clone();
         // Enumerate the arriving order's groups once; offer each to every
         // member (the arriving order may improve neighbours' bests too).
         let groups = all_groups_for(
@@ -206,7 +210,7 @@ impl OrderPool {
     fn recompute<C: TravelCost>(&mut self, id: OrderId, now: Ts, oracle: &C) {
         self.stats.recomputes += 1;
         self.unlink_best(id);
-        let Some(center) = self.graph.order(id).cloned() else {
+        let Some(center) = self.graph.order_handle(id).cloned() else {
             return;
         };
         if let Some(best) = best_group_for(

@@ -9,6 +9,7 @@
 
 use crate::planner::{plan_min_cost, PlanLimits};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use watter_core::{Dur, Group, Order, OrderId, TravelCost, Ts};
 
 /// A shareability edge between two pooled orders.
@@ -27,9 +28,13 @@ pub struct PairEdge {
 /// Ordered maps keep every iteration (neighbor scans, clique enumeration,
 /// expiry sweeps) deterministic run-to-run, so simulations are reproducible
 /// from the scenario seed alone.
+///
+/// Orders are stored behind [`Arc`] so that clique enumeration and group
+/// construction share handles instead of deep-copying each `Order` into
+/// every candidate group.
 #[derive(Clone, Debug, Default)]
 pub struct ShareGraph {
-    orders: BTreeMap<OrderId, Order>,
+    orders: BTreeMap<OrderId, Arc<Order>>,
     adj: BTreeMap<OrderId, BTreeMap<OrderId, PairEdge>>,
 }
 
@@ -56,12 +61,17 @@ impl ShareGraph {
 
     /// The pooled order with the given id.
     pub fn order(&self, id: OrderId) -> Option<&Order> {
+        self.orders.get(&id).map(Arc::as_ref)
+    }
+
+    /// The pooled order as a shared handle (cheap to clone into groups).
+    pub fn order_handle(&self, id: OrderId) -> Option<&Arc<Order>> {
         self.orders.get(&id)
     }
 
     /// Iterate over pooled orders.
     pub fn orders(&self) -> impl Iterator<Item = &Order> {
-        self.orders.values()
+        self.orders.values().map(Arc::as_ref)
     }
 
     /// Ids of pooled orders.
@@ -98,13 +108,16 @@ impl ShareGraph {
             !self.orders.contains_key(&id),
             "order {id} inserted twice into the pool"
         );
+        let order = Arc::new(order);
         let mut new_neighbors = Vec::new();
         for other in self.orders.values() {
             if !pair_prefilter(&order, other, now, oracle) {
                 continue;
             }
-            if let Some(route) = plan_min_cost(&[&order, other], now, limits, oracle) {
-                let group = Group::new(vec![order.clone(), other.clone()], route, oracle);
+            if let Some(route) =
+                plan_min_cost(&[order.as_ref(), other.as_ref()], now, limits, oracle)
+            {
+                let group = Group::new(vec![Arc::clone(&order), Arc::clone(other)], route, oracle);
                 let edge = PairEdge {
                     expires_at: group.expires_at(oracle),
                     route_cost: group.route.cost(),

@@ -1,0 +1,276 @@
+//! Landmark-guided A* (ALT) point-query oracle.
+//!
+//! For cities beyond [`watter_core::DENSE_NODE_LIMIT`] nodes the dense
+//! all-pairs table stops fitting in memory (`n² × 4` bytes is 40 GB at
+//! 10⁵ nodes). [`AltOracle`] instead answers each `cost(a, b)` query with
+//! an A* search whose heuristic is the [`Landmarks`] triangle-inequality
+//! lower bound `max_ℓ |d(ℓ, v) − d(ℓ, b)|` — the classic ALT technique.
+//! The bound is **consistent**, so the search is *exact*: it returns
+//! bit-identical costs to Dijkstra and to the dense table, it just settles
+//! far fewer nodes on the way.
+//!
+//! The symmetric-graph form of the bound is only admissible on graphs
+//! where every edge has a same-weight mirror (all the synthetic cities in
+//! this workspace). On an asymmetric graph the oracle silently degrades to
+//! a zero heuristic — plain Dijkstra with early exit — which is slower but
+//! still exact.
+
+use crate::dijkstra::UNREACHABLE;
+use crate::graph::RoadGraph;
+use crate::landmarks::Landmarks;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
+use watter_core::{Dur, NodeId, TravelCost};
+
+/// Exact point-query travel-cost oracle for graphs too large for a dense
+/// table. `O(landmarks × n)` memory, millisecond-scale queries.
+///
+/// Queries require `&self` (the [`TravelCost`] contract), so the reusable
+/// search workspace sits behind a mutex; queries are short and the
+/// simulator is single-threaded, making contention a non-issue.
+#[derive(Debug)]
+pub struct AltOracle {
+    graph: Arc<RoadGraph>,
+    landmarks: Landmarks,
+    /// Whether the landmark bound may be used (see module docs).
+    symmetric: bool,
+    ws: Mutex<AstarWorkspace>,
+}
+
+/// Reusable A* state: g-scores with a touched list, the open heap, and the
+/// per-query cache of landmark distances to the target.
+#[derive(Debug, Default)]
+struct AstarWorkspace {
+    dist: Vec<Dur>,
+    touched: Vec<u32>,
+    /// `Reverse((f, g, node))`: ordered by f = g + h, ties broken by
+    /// smaller g then smaller node id for determinism.
+    heap: BinaryHeap<Reverse<(Dur, Dur, u32)>>,
+    /// `d(ℓ, target)` per landmark, filled once per query.
+    target_bounds: Vec<Dur>,
+}
+
+impl AltOracle {
+    /// Build the oracle: select `k` landmarks over `graph` and precompute
+    /// their distance vectors (`k` Dijkstra sweeps).
+    pub fn build(graph: Arc<RoadGraph>, k: usize) -> Self {
+        let landmarks = Landmarks::build(&graph, k);
+        Self::with_landmarks(graph, landmarks)
+    }
+
+    /// Wrap an existing landmark set (e.g. shared with shareability
+    /// pre-filtering).
+    pub fn with_landmarks(graph: Arc<RoadGraph>, landmarks: Landmarks) -> Self {
+        let symmetric = graph.is_symmetric();
+        let n = graph.node_count();
+        Self {
+            graph,
+            landmarks,
+            symmetric,
+            ws: Mutex::new(AstarWorkspace {
+                dist: vec![UNREACHABLE; n],
+                ..AstarWorkspace::default()
+            }),
+        }
+    }
+
+    /// The underlying road graph.
+    pub fn graph(&self) -> &Arc<RoadGraph> {
+        &self.graph
+    }
+
+    /// The landmark set driving the heuristic.
+    pub fn landmarks(&self) -> &Landmarks {
+        &self.landmarks
+    }
+
+    /// Whether `b` is reachable from `a`.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        self.cost(a, b) < UNREACHABLE
+    }
+
+    /// Resident memory of the precomputed landmark vectors, in bytes.
+    pub fn landmark_bytes(&self) -> usize {
+        self.landmarks.len() * self.graph.node_count() * std::mem::size_of::<Dur>()
+    }
+}
+
+impl AstarWorkspace {
+    fn begin(&mut self, n: usize) {
+        for &t in &self.touched {
+            self.dist[t as usize] = UNREACHABLE;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        if self.dist.len() < n {
+            self.dist.resize(n, UNREACHABLE);
+        }
+    }
+
+    /// Heuristic `h(v)`: the tightest landmark lower bound on the
+    /// remaining distance `v → target`, 0 when no landmark covers both.
+    #[inline]
+    fn h(&self, landmarks: &Landmarks, v: usize) -> Dur {
+        let mut best = 0;
+        for (l, &db) in self.target_bounds.iter().enumerate() {
+            let da = landmarks.row(l)[v];
+            if da < UNREACHABLE && db < UNREACHABLE {
+                best = best.max((da - db).abs());
+            }
+        }
+        best
+    }
+
+    fn search(
+        &mut self,
+        graph: &RoadGraph,
+        landmarks: &Landmarks,
+        symmetric: bool,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Dur {
+        self.begin(graph.node_count());
+        self.target_bounds.clear();
+        if symmetric {
+            self.target_bounds
+                .extend((0..landmarks.len()).map(|l| landmarks.row(l)[dst.index()]));
+        }
+        self.dist[src.index()] = 0;
+        self.touched.push(src.0);
+        let h0 = self.h(landmarks, src.index());
+        self.heap.push(Reverse((h0, 0, src.0)));
+        while let Some(Reverse((_, g, u))) = self.heap.pop() {
+            if u == dst.0 {
+                return g;
+            }
+            if g > self.dist[u as usize] {
+                continue;
+            }
+            let (targets, travels) = graph.out_edges(NodeId(u));
+            for (&v, &w) in targets.iter().zip(travels) {
+                let ng = g.saturating_add(w).min(UNREACHABLE);
+                if ng < self.dist[v as usize] {
+                    if self.dist[v as usize] >= UNREACHABLE {
+                        self.touched.push(v);
+                    }
+                    self.dist[v as usize] = ng;
+                    let f = ng.saturating_add(self.h(landmarks, v as usize));
+                    self.heap.push(Reverse((f, ng, v)));
+                }
+            }
+        }
+        UNREACHABLE
+    }
+}
+
+impl TravelCost for AltOracle {
+    fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+        if a == b {
+            return 0;
+        }
+        let mut ws = self.ws.lock().unwrap_or_else(|e| e.into_inner());
+        ws.search(&self.graph, &self.landmarks, self.symmetric, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citygen::CityConfig;
+    use crate::dijkstra::DijkstraOracle;
+    use crate::graph::Edge;
+    use crate::matrix::CostMatrix;
+
+    fn city(w: usize, h: usize, seed: u64) -> Arc<RoadGraph> {
+        Arc::new(
+            CityConfig {
+                width: w,
+                height: h,
+                ..Default::default()
+            }
+            .generate(seed),
+        )
+    }
+
+    #[test]
+    fn matches_dense_table_on_all_pairs() {
+        let g = city(8, 7, 3);
+        let dense = CostMatrix::build(&g);
+        let alt = AltOracle::build(g.clone(), 4);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(alt.cost(a, b), dense.cost(a, b), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_disconnected_graph() {
+        let coords = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let e = |a: u32, b: u32, t: i64| Edge {
+            from: NodeId(a),
+            to: NodeId(b),
+            travel: t,
+        };
+        let g = Arc::new(RoadGraph::from_undirected_edges(
+            coords,
+            vec![e(0, 1, 5), e(1, 2, 7), e(3, 4, 11), e(4, 5, 2)],
+        ));
+        let alt = AltOracle::build(g.clone(), 3);
+        let dij = DijkstraOracle::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(alt.cost(a, b), dij.cost(a, b), "{a} -> {b}");
+            }
+        }
+        assert!(!alt.reachable(NodeId(0), NodeId(3)));
+        assert!(alt.reachable(NodeId(3), NodeId(5)));
+    }
+
+    #[test]
+    fn asymmetric_graph_degrades_to_exact_dijkstra() {
+        // One-way streets: 0 → 1 → 2 plus a slow direct 0 → 2.
+        let g = Arc::new(RoadGraph::from_edges(
+            vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+            vec![
+                Edge {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    travel: 3,
+                },
+                Edge {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    travel: 4,
+                },
+                Edge {
+                    from: NodeId(0),
+                    to: NodeId(2),
+                    travel: 20,
+                },
+            ],
+        ));
+        assert!(!g.is_symmetric());
+        let alt = AltOracle::build(g.clone(), 2);
+        let dij = DijkstraOracle::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(alt.cost(a, b), dij.cost(a, b), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_landmarks_is_plain_dijkstra() {
+        let g = city(5, 5, 9);
+        let alt = AltOracle::build(g.clone(), 0);
+        let dense = CostMatrix::build(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(alt.cost(a, b), dense.cost(a, b));
+            }
+        }
+        assert_eq!(alt.landmark_bytes(), 0);
+    }
+}

@@ -3,9 +3,16 @@
 //! Two entry points: [`single_source`] computes the full distance vector
 //! used to build the APSP table, and [`shortest_path_cost`] is a
 //! point-to-point query with early termination used when a table would be
-//! too large.
+//! too large. Both run on a [`DijkstraWorkspace`]; `shortest_path_cost`
+//! reuses a thread-local one, so repeated point queries allocate nothing.
+//!
+//! Distances saturate at [`UNREACHABLE`]: a path whose cost would reach it
+//! (≈ 73 000 years of travel) is reported as no path at all, which keeps
+//! relaxation overflow-free for any edge weights.
 
 use crate::graph::RoadGraph;
+use crate::workspace::DijkstraWorkspace;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use watter_core::{Dur, NodeId};
@@ -13,54 +20,25 @@ use watter_core::{Dur, NodeId};
 /// Distance value for unreachable nodes.
 pub const UNREACHABLE: Dur = Dur::MAX / 4;
 
+thread_local! {
+    /// Shared scratch for the free-function entry points below.
+    static SCRATCH: RefCell<DijkstraWorkspace> = RefCell::new(DijkstraWorkspace::default());
+}
+
 /// Full single-source shortest-path distances from `src`.
+///
+/// Allocates the returned vector; bulk callers (APSP construction,
+/// landmark preprocessing) should drive a [`DijkstraWorkspace`] directly.
 pub fn single_source(graph: &RoadGraph, src: NodeId) -> Vec<Dur> {
-    let mut dist = vec![UNREACHABLE; graph.node_count()];
-    let mut heap = BinaryHeap::new();
-    dist[src.index()] = 0;
-    heap.push(Reverse((0, src.0)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if d > dist[u as usize] {
-            continue;
-        }
-        for (v, w) in graph.neighbors(NodeId(u)) {
-            let nd = d + w;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                heap.push(Reverse((nd, v.0)));
-            }
-        }
-    }
-    dist
+    SCRATCH.with(|ws| ws.borrow_mut().single_source(graph, src).to_vec())
 }
 
 /// Point-to-point shortest path cost with early exit at the target.
 ///
-/// Returns [`UNREACHABLE`] when no path exists.
+/// Returns [`UNREACHABLE`] when no path exists. Runs on a thread-local
+/// [`DijkstraWorkspace`], so it performs no per-query allocation.
 pub fn shortest_path_cost(graph: &RoadGraph, src: NodeId, dst: NodeId) -> Dur {
-    if src == dst {
-        return 0;
-    }
-    let mut dist = vec![UNREACHABLE; graph.node_count()];
-    let mut heap = BinaryHeap::new();
-    dist[src.index()] = 0;
-    heap.push(Reverse((0, src.0)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if u == dst.0 {
-            return d;
-        }
-        if d > dist[u as usize] {
-            continue;
-        }
-        for (v, w) in graph.neighbors(NodeId(u)) {
-            let nd = d + w;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                heap.push(Reverse((nd, v.0)));
-            }
-        }
-    }
-    UNREACHABLE
+    SCRATCH.with(|ws| ws.borrow_mut().point_to_point(graph, src, dst))
 }
 
 /// On-demand oracle wrapping point-to-point Dijkstra. Exact but slow; used
@@ -121,6 +99,25 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_weights_saturate_to_unreachable() {
+        // Summing two of these would wrap i64 without saturation; the
+        // public entry points must report such paths as unreachable, never
+        // a wrapped/negative distance.
+        let coords = (0..3).map(|i| (i as f64, 0.0)).collect();
+        let edges = (0..2)
+            .map(|i| Edge {
+                from: NodeId(i),
+                to: NodeId(i + 1),
+                travel: Dur::MAX / 3,
+            })
+            .collect();
+        let g = RoadGraph::from_undirected_edges(coords, edges);
+        assert_eq!(shortest_path_cost(&g, NodeId(0), NodeId(2)), UNREACHABLE);
+        let d = single_source(&g, NodeId(0));
+        assert!(d.iter().all(|&x| (0..=UNREACHABLE).contains(&x)));
+    }
+
+    #[test]
     fn takes_cheaper_of_two_routes() {
         // 0 -1- 2 (cost 2) vs 0 -> 2 direct (cost 5)
         let g = RoadGraph::from_undirected_edges(
@@ -168,7 +165,7 @@ pub fn shortest_path(graph: &RoadGraph, src: NodeId, dst: NodeId) -> Option<Vec<
             continue;
         }
         for (v, w) in graph.neighbors(NodeId(u)) {
-            let nd = d + w;
+            let nd = d.saturating_add(w).min(UNREACHABLE);
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
                 prev[v.index()] = u;

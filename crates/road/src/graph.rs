@@ -108,10 +108,53 @@ impl RoadGraph {
             .map(|(&t, &w)| (NodeId(t), w))
     }
 
+    /// Raw CSR slices of `n`'s outgoing edges: `(targets, travel_times)`,
+    /// index-aligned and sorted by target id. This is the relaxation-loop
+    /// form: one bounds check per slice instead of one per edge, and no
+    /// iterator state.
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> (&[u32], &[Dur]) {
+        let lo = self.offsets[n.index()] as usize;
+        let hi = self.offsets[n.index() + 1] as usize;
+        (&self.targets[lo..hi], &self.travels[lo..hi])
+    }
+
     /// Out-degree of `n`.
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
         (self.offsets[n.index() + 1] - self.offsets[n.index()]) as usize
+    }
+
+    /// Whether every directed edge `(u, v, w)` has a mirror `(v, u, w)`.
+    ///
+    /// Symmetry is what makes the [`crate::Landmarks`] triangle-inequality
+    /// bound admissible in *both* query directions, so the ALT oracle
+    /// checks it once at construction. Runs in `O(E log deg)`.
+    pub fn is_symmetric(&self) -> bool {
+        for u in self.nodes() {
+            let (targets, travels) = self.out_edges(u);
+            for (&v, &w) in targets.iter().zip(travels) {
+                let (back_t, back_w) = self.out_edges(NodeId(v));
+                // Targets are sorted; find the (possibly duplicated) run of
+                // edges back to `u` and require one with matching weight.
+                let Ok(hit) = back_t.binary_search(&u.0) else {
+                    return false;
+                };
+                let lo = back_t[..hit]
+                    .iter()
+                    .rposition(|&t| t != u.0)
+                    .map_or(0, |p| p + 1);
+                let hi = hit
+                    + back_t[hit..]
+                        .iter()
+                        .position(|&t| t != u.0)
+                        .unwrap_or(back_t.len() - hit);
+                if !back_w[lo..hi].contains(&w) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Iterator over all node ids.

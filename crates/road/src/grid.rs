@@ -202,4 +202,74 @@ mod tests {
         let g = city();
         GridIndex::build(&g, 0);
     }
+
+    /// Every node lands in a valid cell: bucketed exactly once, and the
+    /// recorded cell is within range.
+    fn assert_well_bucketed(g: &RoadGraph, idx: &GridIndex) {
+        let total: usize = (0..idx.cells()).map(|c| idx.nodes_in_cell(c).len()).sum();
+        assert_eq!(total, g.node_count());
+        for n in g.nodes() {
+            let cell = idx.cell_of(n);
+            assert!(cell < idx.cells(), "cell {cell} out of range");
+            assert!(idx.nodes_in_cell(cell).contains(&n));
+        }
+    }
+
+    /// Exhaustive ring search from `center` must terminate, visit no cell
+    /// twice, and cover the whole grid.
+    fn assert_ring_search_terminates(idx: &GridIndex, center: NodeId) {
+        let mut seen = vec![0u32; idx.cells()];
+        idx.ring_search(center, |cell| {
+            seen[cell] += 1;
+            false // never satisfied: worst case for termination
+        });
+        assert!(seen.iter().all(|&s| s == 1), "visits: {seen:?}");
+    }
+
+    #[test]
+    fn identical_coordinates_degenerate_to_one_cell() {
+        // All nodes on one point: the zero-width bounding box relies on the
+        // f64::EPSILON guard; every node must still get a valid cell.
+        let g = RoadGraph::from_edges(vec![(2.5, -3.25); 9], vec![]);
+        let idx = GridIndex::build(&g, 4);
+        assert_well_bucketed(&g, &idx);
+        let first = idx.cell_of(NodeId(0));
+        for n in g.nodes() {
+            assert_eq!(idx.cell_of(n), first, "co-located nodes split cells");
+        }
+        assert_ring_search_terminates(&idx, NodeId(0));
+    }
+
+    #[test]
+    fn collinear_horizontal_coordinates_bucket_and_search() {
+        // Zero height: the y extent collapses to the epsilon guard.
+        let coords: Vec<(f64, f64)> = (0..12).map(|i| (i as f64, 5.0)).collect();
+        let g = RoadGraph::from_edges(coords, vec![]);
+        let idx = GridIndex::build(&g, 5);
+        assert_well_bucketed(&g, &idx);
+        for n in g.nodes() {
+            assert_ring_search_terminates(&idx, n);
+        }
+        // Chebyshev distances along the line stay monotone in x.
+        assert!(
+            idx.cell_distance(NodeId(0), NodeId(11)) >= idx.cell_distance(NodeId(0), NodeId(5))
+        );
+    }
+
+    #[test]
+    fn collinear_vertical_coordinates_bucket_and_search() {
+        let coords: Vec<(f64, f64)> = (0..7).map(|i| (-1.0, i as f64 * 0.5)).collect();
+        let g = RoadGraph::from_edges(coords, vec![]);
+        let idx = GridIndex::build(&g, 3);
+        assert_well_bucketed(&g, &idx);
+        assert_ring_search_terminates(&idx, NodeId(3));
+    }
+
+    #[test]
+    fn single_node_graph_ring_search_terminates() {
+        let g = RoadGraph::from_edges(vec![(0.0, 0.0)], vec![]);
+        let idx = GridIndex::build(&g, 6);
+        assert_well_bucketed(&g, &idx);
+        assert_ring_search_terminates(&idx, NodeId(0));
+    }
 }

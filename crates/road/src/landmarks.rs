@@ -7,48 +7,83 @@
 //! handful of far-apart landmark nodes and use the triangle inequality
 //! `|d(ℓ, a) − d(ℓ, b)| ≤ d(a, b)`.
 
-use crate::dijkstra::{single_source, UNREACHABLE};
+use crate::dijkstra::UNREACHABLE;
 use crate::graph::RoadGraph;
+use crate::workspace::DijkstraWorkspace;
 use watter_core::{Dur, NodeId};
 
 /// Precomputed landmark distance vectors.
 #[derive(Clone, Debug)]
 pub struct Landmarks {
+    /// The selected landmark nodes, aligned with `dist`.
+    nodes: Vec<NodeId>,
     /// `dist[l][v]` = shortest travel time from landmark `l` to node `v`.
     dist: Vec<Vec<Dur>>,
 }
 
 impl Landmarks {
-    /// Select `k` landmarks by farthest-point sampling (the classic ALT
-    /// heuristic) and precompute their distance vectors.
+    /// Select up to `k` landmarks by farthest-point sampling (the classic
+    /// ALT heuristic) and precompute their distance vectors.
+    ///
+    /// Selection never repeats a landmark, and a node unreachable from
+    /// every selected landmark (an uncovered component) is preferred over
+    /// any covered node — so on a disconnected graph each component gets a
+    /// landmark before any component gets its second. Fewer than `k`
+    /// landmarks are returned when the graph runs out of nodes.
     pub fn build(graph: &RoadGraph, k: usize) -> Self {
         let n = graph.node_count();
         if n == 0 || k == 0 {
-            return Self { dist: Vec::new() };
+            return Self {
+                nodes: Vec::new(),
+                dist: Vec::new(),
+            };
         }
+        let mut ws = DijkstraWorkspace::new(n);
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(k);
         let mut dist: Vec<Vec<Dur>> = Vec::with_capacity(k);
-        // First landmark: node 0; subsequent ones maximize distance to the
-        // already-selected set.
         let mut current = NodeId(0);
-        for _ in 0..k.min(n) {
-            let d = single_source(graph, current);
-            dist.push(d);
-            // farthest reachable node from all selected landmarks
-            let mut best = (0i64, NodeId(0));
+        while dist.len() < k.min(n) {
+            nodes.push(current);
+            dist.push(ws.single_source(graph, current).to_vec());
+            // Next landmark: the first node no selected landmark reaches
+            // (uncovered component), else the covered node farthest from
+            // its nearest landmark; never a node already selected.
+            let mut uncovered: Option<NodeId> = None;
+            let mut farthest: (Dur, Option<NodeId>) = (0, None);
             for v in 0..n {
-                let m = dist
+                let node = NodeId(v as u32);
+                if nodes.contains(&node) {
+                    continue;
+                }
+                let nearest = dist
                     .iter()
                     .map(|row| row[v])
-                    .filter(|&x| x < UNREACHABLE)
                     .min()
-                    .unwrap_or(0);
-                if m > best.0 {
-                    best = (m, NodeId(v as u32));
+                    .expect("at least one landmark selected");
+                if nearest >= UNREACHABLE {
+                    if uncovered.is_none() {
+                        uncovered = Some(node);
+                    }
+                } else if nearest > farthest.0 {
+                    farthest = (nearest, Some(node));
                 }
             }
-            current = best.1;
+            match uncovered.or(farthest.1) {
+                Some(next) => current = next,
+                None => break, // every node is already a landmark
+            }
         }
-        Self { dist }
+        Self { nodes, dist }
+    }
+
+    /// The selected landmark nodes, in selection order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Distance vector of landmark `l` (`dist[v]` = travel time `l → v`).
+    pub(crate) fn row(&self, l: usize) -> &[Dur] {
+        &self.dist[l]
     }
 
     /// Number of landmarks.
@@ -148,5 +183,52 @@ mod tests {
         let g = RoadGraph::from_edges(vec![], vec![]);
         let lm = Landmarks::build(&g, 3);
         assert!(lm.is_empty());
+        assert!(lm.nodes().is_empty());
+    }
+
+    /// Regression: farthest-point sampling used to treat nodes unreachable
+    /// from every landmark as distance 0, so isolated components never got
+    /// a landmark and the same node could be selected repeatedly.
+    #[test]
+    fn disconnected_components_each_get_a_landmark() {
+        // Component A: path {0,1,2}; component B: path {3,4,5}.
+        let coords = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let e = |a: u32, b: u32| Edge {
+            from: NodeId(a),
+            to: NodeId(b),
+            travel: 10,
+        };
+        let g = RoadGraph::from_undirected_edges(coords, vec![e(0, 1), e(1, 2), e(3, 4), e(4, 5)]);
+        let lm = Landmarks::build(&g, 2);
+        assert_eq!(lm.len(), 2);
+        // No duplicate selections…
+        assert_ne!(lm.nodes()[0], lm.nodes()[1]);
+        // …and the second landmark lands in the uncovered component B.
+        assert!(lm.nodes().iter().any(|n| n.0 >= 3), "{:?}", lm.nodes());
+        // With B covered, within-B bounds become useful (a landmark inside
+        // a path component gives exact bounds along it).
+        assert!(lm.lower_bound(NodeId(3), NodeId(5)) > 0);
+        // Bounds stay admissible everywhere, including across components.
+        let exact = CostMatrix::build(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert!(
+                    lm.lower_bound(a, b) <= exact.cost(a, b).max(0),
+                    "lb({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_stops_when_nodes_run_out() {
+        // Three isolated nodes, k = 5: exactly the three nodes are picked,
+        // each exactly once.
+        let g = RoadGraph::from_edges(vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)], vec![]);
+        let lm = Landmarks::build(&g, 5);
+        assert_eq!(lm.len(), 3);
+        let mut picked: Vec<u32> = lm.nodes().iter().map(|n| n.0).collect();
+        picked.sort_unstable();
+        assert_eq!(picked, vec![0, 1, 2]);
     }
 }

@@ -10,26 +10,38 @@
 //!   and per-node planar coordinates,
 //! * [`dijkstra`] — exact single-source and point-to-point shortest paths,
 //! * [`CostMatrix`] — an all-pairs shortest-path table implementing
-//!   [`watter_core::TravelCost`] with O(1) queries (the workloads use city
-//!   graphs of a few thousand nodes, for which the table is the fastest and
-//!   simplest oracle),
-//! * [`Landmarks`] — ALT-style lower bounds used as an alternative oracle
-//!   and to sanity-check the exact table,
+//!   [`watter_core::TravelCost`] with O(1) queries, built by parallel
+//!   Dijkstra sweeps (the right oracle up to ~10⁴ nodes),
+//! * [`Landmarks`] — ALT lower bounds (farthest-point-sampled landmark
+//!   distance vectors) used for shareability pre-filtering and as the
+//!   [`AltOracle`] heuristic,
+//! * [`AltOracle`] — exact landmark-guided A* point queries for 10⁵-node
+//!   cities where the dense table cannot exist,
+//! * [`CityOracle`] — the [`watter_core::OracleKind`]-selected oracle the
+//!   workloads, simulator and CLI plug in,
+//! * [`DijkstraWorkspace`] — reusable search state making repeated
+//!   point queries allocation-free,
 //! * [`GridIndex`] — the `g × g` spatial index the paper uses both to speed
 //!   up nearest-worker search and to quantize locations for the MDP state,
 //! * [`citygen`] — synthetic city generation (perturbed grid with optional
 //!   diagonal arterials).
 
+pub mod astar;
 pub mod citygen;
 pub mod dijkstra;
 pub mod graph;
 pub mod grid;
 pub mod landmarks;
 pub mod matrix;
+pub mod oracle;
+pub mod workspace;
 
+pub use astar::AltOracle;
 pub use citygen::{CityConfig, CityTopology};
 pub use dijkstra::{shortest_path_cost, single_source};
 pub use graph::RoadGraph;
 pub use grid::GridIndex;
 pub use landmarks::Landmarks;
 pub use matrix::CostMatrix;
+pub use oracle::CityOracle;
+pub use workspace::DijkstraWorkspace;

@@ -4,10 +4,17 @@
 //! planning alone does several per candidate permutation), so for the
 //! city-scale graphs used here (10³–10⁴ nodes) an exact table built by `n`
 //! Dijkstra sweeps is both the fastest and the simplest oracle. Memory is
-//! `n² × 4` bytes thanks to a `u32` compression of the second dimension.
+//! `n² × 4` bytes thanks to a `u32` compression of the second dimension;
+//! beyond [`watter_core::DENSE_NODE_LIMIT`] nodes use
+//! [`crate::AltOracle`] instead.
+//!
+//! Construction parallelizes across source nodes: each worker thread owns a
+//! [`DijkstraWorkspace`] and fills a disjoint contiguous block of rows, so
+//! the result is bit-identical for any thread count.
 
-use crate::dijkstra::{single_source, UNREACHABLE};
+use crate::dijkstra::UNREACHABLE;
 use crate::graph::RoadGraph;
+use crate::workspace::DijkstraWorkspace;
 use watter_core::{Dur, NodeId, TravelCost};
 
 /// Dense all-pairs travel-time table implementing [`TravelCost`] in O(1).
@@ -19,25 +26,47 @@ pub struct CostMatrix {
 }
 
 impl CostMatrix {
-    /// Build the table with `n` Dijkstra sweeps.
+    /// Build the table with `n` Dijkstra sweeps, parallelized across all
+    /// available cores.
     ///
     /// # Panics
     /// Panics if any finite distance exceeds `u32::MAX − 1` seconds (no
     /// realistic city does).
     pub fn build(graph: &RoadGraph) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        Self::build_with_threads(graph, threads)
+    }
+
+    /// Single-threaded build — the baseline the parallel build is benched
+    /// against, and the cheapest option for tiny graphs.
+    pub fn build_serial(graph: &RoadGraph) -> Self {
         let n = graph.node_count();
         let mut data = vec![u32::MAX; n * n];
-        for src in graph.nodes() {
-            let dist = single_source(graph, src);
-            let row = &mut data[src.index() * n..(src.index() + 1) * n];
-            for (cell, d) in row.iter_mut().zip(dist) {
-                *cell = if d >= UNREACHABLE {
-                    u32::MAX
-                } else {
-                    u32::try_from(d).expect("distance exceeds u32 seconds")
-                };
-            }
+        let mut ws = DijkstraWorkspace::new(n);
+        fill_rows(graph, 0, &mut data, &mut ws);
+        Self { n, data }
+    }
+
+    /// Build with an explicit worker-thread count. Rows are split into
+    /// `threads` contiguous blocks, one scoped thread each; every thread
+    /// reuses one [`DijkstraWorkspace`] across its sweeps. Results are
+    /// bit-identical for any `threads`.
+    pub fn build_with_threads(graph: &RoadGraph, threads: usize) -> Self {
+        let n = graph.node_count();
+        let threads = threads.clamp(1, n.max(1));
+        if threads <= 1 || n == 0 {
+            return Self::build_serial(graph);
         }
+        let mut data = vec![u32::MAX; n * n];
+        let rows_per = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk, first_row) in data.chunks_mut(rows_per * n).zip((0..n).step_by(rows_per)) {
+                scope.spawn(move || {
+                    let mut ws = DijkstraWorkspace::new(n);
+                    fill_rows(graph, first_row, chunk, &mut ws);
+                });
+            }
+        });
         Self { n, data }
     }
 
@@ -82,6 +111,26 @@ impl CostMatrix {
     }
 }
 
+/// Fill `rows` (a whole-row-aligned block starting at `first_row`) with
+/// compressed distances from consecutive source nodes.
+fn fill_rows(graph: &RoadGraph, first_row: usize, rows: &mut [u32], ws: &mut DijkstraWorkspace) {
+    let n = graph.node_count();
+    if n == 0 {
+        return;
+    }
+    for (r, row) in rows.chunks_mut(n).enumerate() {
+        let src = NodeId((first_row + r) as u32);
+        let dist = ws.single_source(graph, src);
+        for (cell, &d) in row.iter_mut().zip(dist) {
+            *cell = if d >= UNREACHABLE {
+                u32::MAX
+            } else {
+                u32::try_from(d).expect("distance exceeds u32 seconds")
+            };
+        }
+    }
+}
+
 impl TravelCost for CostMatrix {
     #[inline]
     fn cost(&self, a: NodeId, b: NodeId) -> Dur {
@@ -122,6 +171,33 @@ mod tests {
                 assert_eq!(m.cost(a, b), d.cost(a, b), "{a} -> {b}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_bit_for_bit() {
+        let city = crate::citygen::CityConfig {
+            width: 9,
+            height: 7,
+            ..Default::default()
+        }
+        .generate(11);
+        let serial = CostMatrix::build_serial(&city);
+        // Uneven row splits, more threads than rows, and the auto path.
+        for threads in [2, 3, 5, 64] {
+            let par = CostMatrix::build_with_threads(&city, threads);
+            for a in city.nodes() {
+                for b in city.nodes() {
+                    assert_eq!(
+                        par.cost(a, b),
+                        serial.cost(a, b),
+                        "{threads} threads {a}->{b}"
+                    );
+                }
+            }
+        }
+        let auto = CostMatrix::build(&city);
+        assert_eq!(auto.max_finite(), serial.max_finite());
+        assert!((auto.mean_finite() - serial.mean_finite()).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Oracle selection: one travel-cost backend per city scale.
+//!
+//! [`CityOracle`] is the concrete realization of a
+//! [`watter_core::OracleKind`]: the dense [`CostMatrix`] for cities where
+//! `n² × 4` bytes is affordable (O(1) queries), or the landmark-guided
+//! [`AltOracle`] for 10⁵-node cities and beyond (exact point queries from
+//! `O(k·n)` memory). Both return bit-identical costs; the choice is purely
+//! a memory/latency trade-off, so workloads, the simulator and the CLI all
+//! pick through this one type.
+
+use crate::astar::AltOracle;
+use crate::graph::RoadGraph;
+use crate::matrix::CostMatrix;
+use std::sync::Arc;
+use watter_core::{Dur, NodeId, OracleKind, TravelCost};
+
+/// A travel-cost oracle selected by [`OracleKind`].
+#[derive(Debug)]
+pub enum CityOracle {
+    /// Dense all-pairs table (small/medium cities).
+    Dense(CostMatrix),
+    /// Landmark-guided A* (large cities).
+    Alt(AltOracle),
+}
+
+impl CityOracle {
+    /// Build the oracle `kind` resolves to for this graph.
+    pub fn build(graph: &Arc<RoadGraph>, kind: OracleKind) -> Self {
+        match kind.resolve(graph.node_count()) {
+            OracleKind::Dense => CityOracle::Dense(CostMatrix::build(graph)),
+            OracleKind::Alt { landmarks } => {
+                CityOracle::Alt(AltOracle::build(Arc::clone(graph), landmarks))
+            }
+            OracleKind::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+
+    /// Whether `b` is reachable from `a`.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        match self {
+            CityOracle::Dense(m) => m.reachable(a, b),
+            CityOracle::Alt(o) => o.reachable(a, b),
+        }
+    }
+
+    /// Human-readable backend description for logs and CLI output.
+    pub fn describe(&self) -> String {
+        match self {
+            CityOracle::Dense(m) => format!("dense[{} nodes]", m.node_count()),
+            CityOracle::Alt(o) => format!(
+                "alt[{} nodes, {} landmarks]",
+                o.graph().node_count(),
+                o.landmarks().len()
+            ),
+        }
+    }
+}
+
+impl TravelCost for CityOracle {
+    #[inline]
+    fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+        match self {
+            CityOracle::Dense(m) => m.cost(a, b),
+            CityOracle::Alt(o) => o.cost(a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citygen::CityConfig;
+
+    fn city() -> Arc<RoadGraph> {
+        Arc::new(
+            CityConfig {
+                width: 6,
+                height: 6,
+                ..Default::default()
+            }
+            .generate(2),
+        )
+    }
+
+    #[test]
+    fn backends_agree_and_auto_picks_dense_for_small_cities() {
+        let g = city();
+        let auto = CityOracle::build(&g, OracleKind::Auto);
+        assert!(matches!(auto, CityOracle::Dense(_)));
+        let alt = CityOracle::build(&g, OracleKind::Alt { landmarks: 4 });
+        assert!(matches!(alt, CityOracle::Alt(_)));
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(auto.cost(a, b), alt.cost(a, b), "{a} -> {b}");
+                assert_eq!(auto.reachable(a, b), alt.reachable(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn describe_names_the_backend() {
+        let g = city();
+        assert!(CityOracle::build(&g, OracleKind::Dense)
+            .describe()
+            .starts_with("dense["));
+        assert!(CityOracle::build(&g, OracleKind::Alt { landmarks: 2 })
+            .describe()
+            .starts_with("alt["));
+    }
+}

@@ -14,6 +14,12 @@
 //!   the order-pool management algorithm parameterized by a decision policy
 //!   (Algorithm 1 + Algorithm 2);
 //! * [`env`] — demand/supply snapshot construction over the grid index.
+//!
+//! The engine is oracle-agnostic: [`engine::run`] takes any
+//! `&dyn TravelCost`, so a simulation runs unchanged on the dense
+//! all-pairs table or the landmark A* oracle (`watter_road::CityOracle`,
+//! selected by `watter_core::OracleKind` when a scenario is built) —
+//! including 10⁵-node cities where only the latter fits in memory.
 
 pub mod cancel;
 pub mod dispatcher;

@@ -11,7 +11,7 @@
 
 use crate::profile::CityProfile;
 use serde::{Deserialize, Serialize};
-use watter_core::{Dur, Ts};
+use watter_core::{Dur, OracleKind, Ts};
 
 /// All knobs of one simulated scenario.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -44,6 +44,10 @@ pub struct ScenarioParams {
     /// This is the structure that makes waiting profitable (Example 1) and
     /// is pervasive in real commute data.
     pub echo_prob: f64,
+    /// Travel-cost oracle backend: dense table, landmark A*, or pick by
+    /// node count. Both backends return bit-identical costs, so this knob
+    /// never changes the generated workload — only memory and latency.
+    pub oracle: OracleKind,
     /// Master seed for the road network, demand and fleet.
     pub seed: u64,
 }
@@ -68,7 +72,23 @@ impl ScenarioParams {
             window_start: 7 * 3600 + 1800,
             window_span: 1800,
             echo_prob: 0.55,
+            oracle: OracleKind::Auto,
             seed: 20_240_311, // arXiv submission date of the paper
+        }
+    }
+
+    /// A 10⁵-node metropolis: 320 × 320 blocks (102 400 nodes), far beyond
+    /// what the dense table can hold (`n² × 4 B ≈ 42 GB`), served by the
+    /// ALT oracle. Order/worker counts are kept small — this scenario
+    /// exists to exercise the large-graph path end to end, not to rerun
+    /// the paper's sweeps at metropolis scale.
+    pub fn large_city() -> Self {
+        Self {
+            city_side: 320,
+            n_orders: 40,
+            n_workers: 10,
+            oracle: OracleKind::Alt { landmarks: 8 },
+            ..Self::default_for(CityProfile::Chengdu)
         }
     }
 

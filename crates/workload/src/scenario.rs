@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use watter_core::{Order, OrderId, TravelCost, Worker, WorkerId};
-use watter_road::{CostMatrix, GridIndex, RoadGraph};
+use watter_road::{CityOracle, GridIndex, RoadGraph};
 
 /// A fully materialized experiment input.
 #[derive(Clone)]
@@ -21,8 +21,10 @@ pub struct Scenario {
     pub params: ScenarioParams,
     /// The synthetic road network.
     pub graph: Arc<RoadGraph>,
-    /// Exact all-pairs travel-time oracle.
-    pub oracle: Arc<CostMatrix>,
+    /// Exact travel-time oracle, backend selected by
+    /// [`ScenarioParams::oracle`] (dense table or landmark A* — identical
+    /// costs either way).
+    pub oracle: Arc<CityOracle>,
     /// Grid spatial index (worker search + MDP state quantization).
     pub grid: GridIndex,
     /// Orders sorted by release time, ids dense in release order.
@@ -44,7 +46,7 @@ impl Scenario {
                 .city_config(params.city_side)
                 .generate(params.seed),
         );
-        let oracle = Arc::new(CostMatrix::build(&graph));
+        let oracle = Arc::new(CityOracle::build(&graph, params.oracle));
         let grid = GridIndex::build(&graph, params.grid_dim);
         let mut rng = StdRng::seed_from_u64(params.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let hotspots = HotspotModel::build(
@@ -185,6 +187,38 @@ mod tests {
             assert!(o.release >= s.params.window_start);
             assert!(o.release < s.params.window_start + s.params.window_span);
         }
+    }
+
+    #[test]
+    fn oracle_backend_does_not_change_the_workload() {
+        use watter_core::OracleKind;
+        let mut dense = ScenarioParams::default_for(CityProfile::Chengdu);
+        dense.n_orders = 120;
+        dense.n_workers = 15;
+        dense.city_side = 10;
+        dense.oracle = OracleKind::Dense;
+        let mut alt = dense.clone();
+        alt.oracle = OracleKind::Alt { landmarks: 4 };
+        let sd = Scenario::build(dense);
+        let sa = Scenario::build(alt);
+        // The ALT oracle is bit-identical to the dense table, so the
+        // sampled demand and fleet must be too.
+        assert_eq!(sd.orders, sa.orders);
+        assert_eq!(sd.workers, sa.workers);
+        assert!(sa.oracle.describe().starts_with("alt["));
+        assert!(sd.oracle.describe().starts_with("dense["));
+    }
+
+    #[test]
+    fn large_city_params_target_the_alt_oracle() {
+        use watter_core::{OracleKind, DENSE_NODE_LIMIT};
+        let p = ScenarioParams::large_city();
+        let nodes = p.city_side * p.city_side;
+        assert!(nodes >= 100_000, "large city must reach 10^5 nodes");
+        assert!(nodes > DENSE_NODE_LIMIT);
+        assert!(matches!(p.oracle, OracleKind::Alt { .. }));
+        // The dense table would need n² × 4 bytes — beyond any sane host.
+        assert!(nodes as u64 * nodes as u64 * 4 > 40_000_000_000);
     }
 
     #[test]

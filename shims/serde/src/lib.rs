@@ -258,6 +258,33 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Shared-ownership pointers serialize transparently, like real serde with
+// the `rc` feature. Deserialization always produces a fresh allocation (no
+// sharing is reconstructed), which matches serde's documented behaviour.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(std::rc::Rc::new)
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($name:ident . $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {

@@ -4,9 +4,14 @@
 //! ```text
 //! watter-cli run   [--profile nyc|cdc|xia] [--algo gdp|gas|nonshare|online|timeout|expect]
 //!                  [--orders N] [--workers M] [--tau F] [--kw K] [--eta F]
+//!                  [--city-side B] [--oracle auto|dense|alt] [--landmarks K]
 //!                  [--seed S] [--json PATH]
 //! watter-cli train [--profile nyc|cdc|xia] [--out model.json] [--steps N]
 //! ```
+//!
+//! `--oracle` picks the travel-cost backend: the dense all-pairs table
+//! (`n² × 4` bytes, O(1) queries), landmark-guided A* (`alt`, exact point
+//! queries for 10⁵-node cities), or by node count (`auto`, the default).
 //!
 //! `--algo expect` trains a value function on a sibling "day" first (or
 //! loads one via `--model model.json`).
@@ -63,6 +68,33 @@ fn params_of(flags: &HashMap<String, String>) -> ScenarioParams {
     if let Some(s) = flags.get("seed").and_then(|s| s.parse().ok()) {
         p.seed = s;
     }
+    if let Some(side) = flags.get("city-side").and_then(|s| s.parse().ok()) {
+        p.city_side = side;
+    }
+    let explicit_landmarks: Option<usize> = flags.get("landmarks").and_then(|s| s.parse().ok());
+    let landmarks = explicit_landmarks.unwrap_or(watter::core::DEFAULT_LANDMARKS);
+    match flags.get("oracle").map(|s| s.as_str()) {
+        Some("dense") => p.oracle = OracleKind::Dense,
+        Some("alt") => p.oracle = OracleKind::Alt { landmarks },
+        Some("auto") | None => {
+            p.oracle = OracleKind::Auto;
+            // Honor an explicit --landmarks even in auto mode: resolve the
+            // node-count choice now (cities are city_side² nodes) so the
+            // requested count is used when auto lands on ALT.
+            if explicit_landmarks.is_some()
+                && matches!(
+                    OracleKind::Auto.resolve(p.city_side * p.city_side),
+                    OracleKind::Alt { .. }
+                )
+            {
+                p.oracle = OracleKind::Alt { landmarks };
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown oracle `{other}` (expected auto|dense|alt)");
+            std::process::exit(2);
+        }
+    }
     p
 }
 
@@ -101,6 +133,7 @@ fn cmd_run(flags: HashMap<String, String>) {
     };
     let stats = run_algorithm(&scenario, algo);
     println!("profile       : {}", params.profile.tag());
+    println!("oracle        : {}", scenario.oracle.describe());
     println!("orders/workers: {}/{}", params.n_orders, params.n_workers);
     println!("algorithm     : {algo_name}");
     println!("extra time    : {:.0} s", stats.extra_time);

@@ -40,9 +40,11 @@ pub mod runner;
 pub mod prelude {
     pub use crate::pipeline::{train, TrainedWatter, TrainingConfig};
     pub use crate::runner::{run_algorithm, Algo};
-    pub use watter_core::{CostWeights, Group, Measurements, Order, RunStats, TravelCost, Worker};
+    pub use watter_core::{
+        CostWeights, Group, Measurements, OracleKind, Order, RunStats, TravelCost, Worker,
+    };
     pub use watter_learn::{Gmm, GmmThresholdProvider, ValueFunction};
-    pub use watter_road::{CityConfig, CostMatrix, GridIndex, RoadGraph};
+    pub use watter_road::{AltOracle, CityConfig, CityOracle, CostMatrix, GridIndex, RoadGraph};
     pub use watter_sim::{Dispatcher, SimConfig, WatterConfig, WatterDispatcher};
     pub use watter_strategy::{
         ConstantThreshold, DecisionPolicy, OnlinePolicy, ThresholdPolicy, TimeoutPolicy,

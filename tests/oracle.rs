@@ -1,0 +1,88 @@
+//! Oracle equivalence and overflow-safety properties.
+//!
+//! The whole framework assumes every `TravelCost` backend answers the same
+//! number for the same pair: the dense table, the ALT A* oracle and plain
+//! Dijkstra must be bit-identical on every city the tier-1 suite uses, and
+//! none of them may ever report a finite distance beyond `UNREACHABLE`,
+//! whatever the edge weights.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use watter::prelude::*;
+use watter_core::NodeId;
+use watter_road::dijkstra::{shortest_path_cost, UNREACHABLE};
+use watter_road::graph::Edge;
+use watter_road::AltOracle;
+
+fn profile(idx: usize) -> CityProfile {
+    CityProfile::ALL[idx % CityProfile::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `AltOracle` returns costs bit-identical to `CostMatrix` and to
+    /// point-to-point Dijkstra on tier-1 city topologies of every profile.
+    #[test]
+    fn alt_oracle_matches_dense_and_dijkstra(
+        pidx in 0usize..3,
+        side in 5usize..11,
+        seed in 0u64..500,
+        landmarks in 1usize..7,
+    ) {
+        let graph = Arc::new(profile(pidx).city_config(side).generate(seed));
+        let dense = CostMatrix::build(&graph);
+        let alt = AltOracle::build(Arc::clone(&graph), landmarks);
+        let n = graph.node_count() as u32;
+        // Deterministic pair sample covering corners and interior.
+        let probes: Vec<(u32, u32)> = (0..60)
+            .map(|i| ((i * 37 + seed as u32) % n, (i * 101 + 13) % n))
+            .chain([(0, n - 1), (n - 1, 0), (n / 2, n / 2)])
+            .collect();
+        for (a, b) in probes {
+            let (a, b) = (NodeId(a), NodeId(b));
+            let want = dense.cost(a, b);
+            prop_assert_eq!(alt.cost(a, b), want, "alt {} -> {}", a, b);
+            prop_assert_eq!(shortest_path_cost(&graph, a, b), want, "dijkstra {} -> {}", a, b);
+        }
+    }
+
+    /// No oracle ever returns a finite value exceeding `UNREACHABLE` (or a
+    /// negative one), even for adversarial edge weights whose path sums
+    /// would wrap `i64`.
+    #[test]
+    fn no_oracle_exceeds_unreachable(
+        weights in prop::collection::vec(1i64..=i64::MAX / 2, 2..10),
+        extra in prop::collection::vec((0u32..10, 0u32..10, 1i64..=i64::MAX / 2), 0..6),
+    ) {
+        // A path graph with adversarial weights plus random shortcut edges.
+        let n = (weights.len() + 1) as u32;
+        let coords: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 0.0)).collect();
+        let mut edges: Vec<Edge> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Edge {
+                from: NodeId(i as u32),
+                to: NodeId(i as u32 + 1),
+                travel: w,
+            })
+            .collect();
+        for &(a, b, w) in &extra {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                edges.push(Edge { from: NodeId(a), to: NodeId(b), travel: w });
+            }
+        }
+        let graph = Arc::new(RoadGraph::from_undirected_edges(coords, edges));
+        let alt = AltOracle::build(Arc::clone(&graph), 2);
+        for a in graph.nodes() {
+            for b in graph.nodes() {
+                let d = shortest_path_cost(&graph, a, b);
+                prop_assert!((0..=UNREACHABLE).contains(&d), "dijkstra {} -> {} = {}", a, b, d);
+                let ad = alt.cost(a, b);
+                prop_assert!((0..=UNREACHABLE).contains(&ad), "alt {} -> {} = {}", a, b, ad);
+                prop_assert_eq!(ad, d, "oracles disagree on {} -> {}", a, b);
+            }
+        }
+    }
+}
