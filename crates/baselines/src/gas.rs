@@ -193,6 +193,7 @@ mod tests {
             (a.0 as i64 - b.0 as i64).abs() * 10
         }
     }
+    impl watter_core::TravelBound for Line {}
 
     fn order(id: u32, p: u32, d: u32, release: Ts) -> Order {
         let direct = (p as i64 - d as i64).abs() * 10;

@@ -254,6 +254,7 @@ mod tests {
             (a.0 as i64 - b.0 as i64).abs() * 10
         }
     }
+    impl watter_core::TravelBound for Line {}
 
     fn order(id: u32, p: u32, d: u32, deadline: Ts) -> Order {
         Order {

@@ -81,6 +81,15 @@ fn bench_oracle(c: &mut Criterion) {
     g.bench_function("dijkstra_point_query_40x40", |b| {
         b.iter(|| dijkstra::shortest_path_cost(&big, black_box(NodeId(17)), black_box(far)))
     });
+    // Landmark preprocessing: the k single-source sweeps are independent
+    // and run one scoped-thread chunk each; same ≥ 2×-on-≥ 4-cores
+    // expectation as the APSP build above, bit-identical output.
+    g.bench_function("landmarks_build_serial_40x40_k16", |b| {
+        b.iter(|| watter_road::Landmarks::build_serial(black_box(&big), 16))
+    });
+    g.bench_function("landmarks_build_parallel_40x40_k16", |b| {
+        b.iter(|| watter_road::Landmarks::build(black_box(&big), 16))
+    });
     g.finish();
 }
 

@@ -5,9 +5,13 @@
 //! ```
 //!
 //! `exp` ∈ {example1, fig3, fig4, fig5, fig6, eta, dt, grid, omega,
-//! ablations, oracle, all};
+//! ablations, oracle, pool, all};
 //! `scale` shrinks order/worker counts (default 1.0). Results are printed
 //! as tables and written to `results/<exp>.json`.
+//!
+//! `pool` takes a city side length instead of a scale
+//! (`reproduce -- pool 320` is the 10⁵-node scaling study) and writes
+//! `results/pool_scale.json`.
 
 use std::path::PathBuf;
 use watter_bench::{experiments, print_table, write_json};
@@ -72,6 +76,39 @@ fn oracle() {
     eprintln!("[oracle] -> results/oracle.json");
 }
 
+fn pool(side: usize) {
+    println!("\n## Pooling-acceleration scaling study ({side}×{side} blocks)");
+    println!(
+        "{:<16} {:>8} {:>7} {:>9} {:>11} {:>9} {:>13} {:>11} {:>11}",
+        "config",
+        "orders",
+        "served",
+        "rejected",
+        "service(%)",
+        "wall(s)",
+        "per-order(ms)",
+        "hits",
+        "misses"
+    );
+    let rows = watter_bench::experiments::pool_scale_study(side);
+    for r in &rows {
+        println!(
+            "{:<16} {:>8} {:>7} {:>9} {:>11.1} {:>9.1} {:>13.1} {:>11} {:>11}",
+            r.config,
+            r.orders,
+            r.served,
+            r.rejected,
+            r.service_rate_pct,
+            r.wall_s,
+            r.per_order_ms,
+            r.cache_hits,
+            r.cache_misses
+        );
+    }
+    write_json(&results_path("pool_scale"), &rows).expect("write results");
+    eprintln!("[pool] -> results/pool_scale.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let exp = args.get(1).map(|s| s.as_str()).unwrap_or("all");
@@ -102,6 +139,7 @@ fn main() {
         }),
         "omega" => omega(scale),
         "oracle" => oracle(),
+        "pool" => pool(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(320)),
         "ablations" => run_figure(
             "ablations",
             "Ablations: clique fan-out, demand correlation, cancellation",
@@ -139,7 +177,7 @@ fn main() {
             oracle();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|oracle|all");
+            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|oracle|pool|all");
             std::process::exit(2);
         }
     }

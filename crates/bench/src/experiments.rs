@@ -431,6 +431,109 @@ pub fn oracle_study(sides: &[usize]) -> Vec<OracleBenchRow> {
     rows
 }
 
+/// One row of the pooling-acceleration scaling study: a (configuration)
+/// large-city run with its dispatch outcome and wall-clock cost.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PoolScaleRow {
+    /// City side length in blocks.
+    pub city_side: usize,
+    /// Node count (`side²`).
+    pub nodes: usize,
+    /// Acceleration configuration: `full-scan` (PR 2-style pool insert
+    /// scanning every pooled order, uncached oracle), `spatial`
+    /// (grid-pruned insert), `spatial+cache` (grid-pruned insert +
+    /// memoized oracle). All three use the bound-guided pre-filter.
+    pub config: String,
+    /// Orders simulated.
+    pub orders: usize,
+    /// Orders served / rejected — must be identical across configurations
+    /// (the layers are exact accelerations, not approximations).
+    pub served: u64,
+    /// Orders rejected.
+    pub rejected: u64,
+    /// Extra Time (the METRS objective Φ), seconds.
+    pub extra_time_s: f64,
+    /// Service rate, percent.
+    pub service_rate_pct: f64,
+    /// End-to-end wall time of the simulation, seconds.
+    pub wall_s: f64,
+    /// Wall time per order, milliseconds — the headline scaling number.
+    pub per_order_ms: f64,
+    /// Cost-cache hits (0 when the cache is off).
+    pub cache_hits: u64,
+    /// Cost-cache misses (0 when the cache is off).
+    pub cache_misses: u64,
+}
+
+/// Pooling-acceleration scaling study (`reproduce -- pool [side]`): run
+/// the large-city scenario under each acceleration configuration and
+/// record per-order wall time. Dispatch outcomes must match across
+/// configurations — the function asserts it, so a regression that breaks
+/// the bit-identical guarantee fails the study loudly.
+pub fn pool_scale_study(city_side: usize) -> Vec<PoolScaleRow> {
+    use std::time::Instant;
+    use watter::runner::{sim_config, watter_config};
+    use watter_core::TravelBound;
+    use watter_road::CachedOracle;
+
+    let mut params = ScenarioParams::large_city();
+    params.city_side = city_side;
+    let scenario = Scenario::build(params);
+    let nodes = scenario.graph.node_count();
+
+    let mut rows: Vec<PoolScaleRow> = Vec::new();
+    for (config, spatial, cache) in [
+        ("full-scan", false, false),
+        ("spatial", true, false),
+        ("spatial+cache", true, true),
+    ] {
+        let cached =
+            cache.then(|| CachedOracle::with_default_capacity(Arc::clone(&scenario.oracle)));
+        let oracle: &dyn TravelBound = match &cached {
+            Some(c) => c,
+            None => scenario.oracle.as_ref(),
+        };
+        let mut wcfg = watter_config(&scenario);
+        if !spatial {
+            wcfg.spatial = None;
+        }
+        let mut d = WatterDispatcher::new(wcfg, OnlinePolicy);
+        let t0 = Instant::now();
+        let m = watter_sim::run(
+            scenario.orders.clone(),
+            scenario.workers.clone(),
+            &mut d,
+            oracle,
+            sim_config(&scenario),
+        );
+        let wall_s = t0.elapsed().as_secs_f64();
+        let stats = RunStats::from(&m);
+        let row = PoolScaleRow {
+            city_side,
+            nodes,
+            config: config.to_string(),
+            orders: scenario.orders.len(),
+            served: m.served_orders,
+            rejected: m.rejected_orders,
+            extra_time_s: stats.extra_time,
+            service_rate_pct: stats.service_rate_pct,
+            wall_s,
+            per_order_ms: wall_s * 1e3 / scenario.orders.len().max(1) as f64,
+            cache_hits: cached.as_ref().map_or(0, |c| c.hits()),
+            cache_misses: cached.as_ref().map_or(0, |c| c.misses()),
+        };
+        if let Some(base) = rows.first() {
+            assert_eq!(
+                (row.served, row.rejected, row.extra_time_s),
+                (base.served, base.rejected, base.extra_time_s),
+                "acceleration config `{config}` changed dispatch outcomes"
+            );
+        }
+        rows.push(row);
+    }
+    rows
+}
+
 /// Example 1 (Figure 1 + Table I): the worked 6-node example.
 pub mod example1 {
     use watter::prelude::*;
@@ -540,6 +643,7 @@ pub mod example1 {
             check_period: 10,
             cancellation: watter_sim::CancellationModel::OFF,
             cancel_seed: 0,
+            spatial: None,
         };
         let m = match which {
             "nonshare" => {

@@ -73,6 +73,30 @@ impl Group {
         }
     }
 
+    /// Singleton group serving `order` alone on its direct
+    /// pick-up → drop-off route.
+    ///
+    /// Uses the order's cached [`Order::direct_cost`] for the route cost
+    /// and a zero detour, so the dispatcher's solo "last call" path issues
+    /// **no oracle queries** (the oracle only backs a debug-build
+    /// consistency check inside [`Route::with_cost`]).
+    pub fn solo(order: impl Into<Arc<Order>>, oracle: &impl TravelCost) -> Self {
+        let order: Arc<Order> = order.into();
+        let route = Route::with_cost(
+            vec![
+                crate::route::Stop::pickup(order.pickup, order.id),
+                crate::route::Stop::dropoff(order.dropoff, order.id),
+            ],
+            order.direct_cost,
+            oracle,
+        );
+        Self {
+            orders: vec![order],
+            route,
+            detours: vec![0],
+        }
+    }
+
     /// Number of orders `|g|`.
     #[inline]
     pub fn len(&self) -> usize {
@@ -244,5 +268,22 @@ mod tests {
     #[test]
     fn total_riders_sums() {
         assert_eq!(group().total_riders(), 2);
+    }
+
+    #[test]
+    fn solo_group_matches_oracle_built_group() {
+        let o = order(0, 0, 3, 0, 1_000);
+        let solo = Group::solo(o.clone(), &Line);
+        assert_eq!(solo.len(), 1);
+        assert_eq!(solo.route.cost(), 30);
+        assert_eq!(solo.detours, vec![0]);
+        let route = Route::new(
+            vec![
+                Stop::pickup(NodeId(0), OrderId(0)),
+                Stop::dropoff(NodeId(3), OrderId(0)),
+            ],
+            &Line,
+        );
+        assert_eq!(solo, Group::new(vec![o], route, &Line));
     }
 }

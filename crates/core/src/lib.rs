@@ -77,3 +77,42 @@ impl<T: TravelCost + ?Sized> TravelCost for std::sync::Arc<T> {
         (**self).cost(a, b)
     }
 }
+
+/// A [`TravelCost`] oracle that can also answer *optimistic* queries: an
+/// admissible lower bound on the travel time, cheaper than the exact cost.
+///
+/// The pooling hot path (shareability pre-filtering, the planner's deadline
+/// pruning) only needs a *necessary* condition to discard candidates: if
+/// even an optimistic bound on a leg already violates a deadline, the exact
+/// cost would too, and the expensive exact query can be skipped. Backends:
+///
+/// * the dense table answers `lower_bound == cost` (exact, O(1) — the
+///   filter degenerates to the previous behaviour at no extra cost),
+/// * the ALT oracle answers with the landmark triangle-inequality bound
+///   (`O(landmarks)` integer ops instead of an A* search),
+/// * anything else falls back to the default `0` (always admissible,
+///   never prunes).
+///
+/// # Contract
+/// `lower_bound(a, b) ≤ cost(a, b)` for every pair — violating this makes
+/// filters drop feasible candidates and breaks the bit-identical-results
+/// guarantee the equivalence tests enforce.
+pub trait TravelBound: TravelCost {
+    /// Admissible lower bound on `cost(a, b)`. Defaults to `0`.
+    #[inline]
+    fn lower_bound(&self, _a: NodeId, _b: NodeId) -> Dur {
+        0
+    }
+}
+
+impl<T: TravelBound + ?Sized> TravelBound for &T {
+    fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+        (**self).lower_bound(a, b)
+    }
+}
+
+impl<T: TravelBound + ?Sized> TravelBound for std::sync::Arc<T> {
+    fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+        (**self).lower_bound(a, b)
+    }
+}

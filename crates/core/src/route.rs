@@ -75,14 +75,20 @@ impl Route {
     }
 
     /// Build a route whose cost is already known (used by planners that
-    /// accumulate the cost while searching). `debug_assert`s consistency.
+    /// accumulate the cost while searching, and by [`crate::Group::solo`]
+    /// to reuse a cached direct cost). Consistency is checked against the
+    /// oracle in debug builds only — release builds issue **no** oracle
+    /// queries here, which is what makes the solo "last call" path free.
     pub fn with_cost(stops: Vec<Stop>, cost: Dur, oracle: &impl TravelCost) -> Self {
-        let check: Dur = stops
-            .windows(2)
-            .map(|w| oracle.cost(w[0].node, w[1].node))
-            .sum();
-        debug_assert_eq!(check, cost, "planner-claimed route cost mismatch");
-        let _ = check;
+        #[cfg(debug_assertions)]
+        {
+            let check: Dur = stops
+                .windows(2)
+                .map(|w| oracle.cost(w[0].node, w[1].node))
+                .sum();
+            assert_eq!(check, cost, "planner-claimed route cost mismatch");
+        }
+        let _ = oracle;
         Self { stops, cost }
     }
 

@@ -14,7 +14,7 @@
 use crate::planner::{plan_min_cost, PlanLimits};
 use crate::share_graph::ShareGraph;
 use std::sync::Arc;
-use watter_core::{CostWeights, Group, Order, OrderId, TravelCost, Ts};
+use watter_core::{CostWeights, Group, Order, OrderId, TravelBound, Ts};
 
 /// Knobs bounding clique search.
 #[derive(Clone, Copy, Debug)]
@@ -40,7 +40,7 @@ impl Default for CliqueLimits {
 /// The best (minimal mean extra time) feasible **shared** group containing
 /// `center`, i.e. a validated clique of size ≥ 2, or `None` if the order has
 /// no live shareable partner.
-pub fn best_group_for<C: TravelCost>(
+pub fn best_group_for<C: TravelBound>(
     center: &Arc<Order>,
     graph: &ShareGraph,
     now: Ts,
@@ -84,7 +84,7 @@ pub fn best_group_for<C: TravelCost>(
 
 /// Enumerate **all** validated shared groups (size ≥ 2) containing `center`
 /// — used by tests and by the GAS baseline's additive construction.
-pub fn all_groups_for<C: TravelCost>(
+pub fn all_groups_for<C: TravelBound>(
     center: &Arc<Order>,
     graph: &ShareGraph,
     now: Ts,
@@ -163,7 +163,7 @@ impl<'a> Members<'a> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn grow<'a, C: TravelCost>(
+fn grow<'a, C: TravelBound>(
     members: &mut Members<'a>,
     candidates: &[&'a Arc<Order>],
     from: usize,
@@ -216,7 +216,7 @@ fn grow<'a, C: TravelCost>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn collect<'a, C: TravelCost>(
+fn collect<'a, C: TravelBound>(
     members: &mut Members<'a>,
     candidates: &[&'a Arc<Order>],
     from: usize,
@@ -264,7 +264,7 @@ fn extends_clique(members: &[&Order], cand: &Order, graph: &ShareGraph) -> bool 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use watter_core::{Dur, NodeId};
+    use watter_core::{Dur, NodeId, TravelCost};
 
     struct Line;
     impl TravelCost for Line {
@@ -272,6 +272,7 @@ mod tests {
             (a.0 as i64 - b.0 as i64).abs() * 10
         }
     }
+    impl TravelBound for Line {}
 
     fn order(id: u32, p: u32, d: u32, deadline: Ts) -> Order {
         Order {

@@ -13,12 +13,19 @@
 //! simulator.
 //!
 //! The search is branch-and-bound over stop interleavings with two prunes:
-//! cost-so-far ≥ incumbent, and a shortest-path lower bound on each
-//! not-yet-dropped order's remaining leg versus its deadline. Group sizes
-//! are small (≤ vehicle capacity, ≤ 5 in all experiments), so the search is
-//! a few hundred states at worst.
+//! cost-so-far ≥ incumbent, and a lower bound on each not-yet-dropped
+//! order's remaining leg versus its deadline. The remaining-leg prune asks
+//! the oracle for an *optimistic* bound
+//! ([`TravelBound::lower_bound`]) rather than the exact cost: on the dense
+//! table the bound **is** the exact cost (identical pruning, O(1)); on the
+//! ALT oracle it is the landmark bound (`O(landmarks)` instead of an A*
+//! search per candidate state). Pruning strength may differ between
+//! backends but the returned route never does — prunes only discard
+//! provably infeasible or non-improving subtrees. Group sizes are small
+//! (≤ vehicle capacity, ≤ 5 in all experiments), so the search is a few
+//! hundred states at worst.
 
-use watter_core::{Dur, Order, Route, Stop, TravelCost, Ts};
+use watter_core::{Dur, Order, Route, Stop, TravelBound, Ts};
 
 /// Hard limits for the planner.
 #[derive(Clone, Copy, Debug)]
@@ -44,7 +51,7 @@ fn order_of(code: u8) -> usize {
     (code >> 1) as usize
 }
 
-struct Search<'a, C: TravelCost> {
+struct Search<'a, C: TravelBound> {
     orders: &'a [&'a Order],
     oracle: &'a C,
     now: Ts,
@@ -57,7 +64,7 @@ struct Search<'a, C: TravelCost> {
     seq: Vec<u8>,
 }
 
-impl<C: TravelCost> Search<'_, C> {
+impl<C: TravelBound> Search<'_, C> {
     fn node_of(&self, code: u8) -> watter_core::NodeId {
         let o = self.orders[order_of(code)];
         if is_dropoff(code) {
@@ -88,7 +95,7 @@ impl<C: TravelCost> Search<'_, C> {
                 let bit = 1u32 << i;
                 if picked & bit != 0 && dropped & bit == 0 {
                     let o = self.orders[i];
-                    let lb = self.oracle.cost(cur, o.dropoff);
+                    let lb = self.oracle.lower_bound(cur, o.dropoff);
                     if self.now + elapsed + lb >= o.deadline {
                         return;
                     }
@@ -134,7 +141,7 @@ impl<C: TravelCost> Search<'_, C> {
 ///
 /// Routes start at one of the pick-ups (the paper's `l_1`); the cost of the
 /// worker's approach drive is *not* part of `T(L)`.
-pub fn plan_min_cost<C: TravelCost>(
+pub fn plan_min_cost<C: TravelBound>(
     orders: &[&Order],
     now: Ts,
     limits: PlanLimits,
@@ -150,7 +157,7 @@ pub fn plan_min_cost<C: TravelCost>(
 ///
 /// Returns the route (whose `cost()` still measures `T(L)` from the first
 /// stop) together with the total cost including the approach drive.
-pub fn plan_with_start<C: TravelCost>(
+pub fn plan_with_start<C: TravelBound>(
     start: watter_core::NodeId,
     orders: &[&Order],
     now: Ts,
@@ -160,7 +167,7 @@ pub fn plan_with_start<C: TravelCost>(
     plan_impl(Some(start), orders, now, limits, oracle)
 }
 
-fn plan_impl<C: TravelCost>(
+fn plan_impl<C: TravelBound>(
     start: Option<watter_core::NodeId>,
     orders: &[&Order],
     now: Ts,
@@ -213,7 +220,7 @@ fn plan_impl<C: TravelCost>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use watter_core::{NodeId, OrderId};
+    use watter_core::{NodeId, OrderId, TravelCost};
 
     /// 1-D metric: |a−b| × 10 s.
     struct Line;
@@ -222,6 +229,7 @@ mod tests {
             (a.0 as i64 - b.0 as i64).abs() * 10
         }
     }
+    impl TravelBound for Line {}
 
     fn order(id: u32, p: u32, d: u32, deadline: Ts) -> Order {
         Order {

@@ -22,7 +22,7 @@ use crate::cliques::{all_groups_for, best_group_for, CliqueLimits};
 use crate::planner::PlanLimits;
 use crate::share_graph::ShareGraph;
 use std::collections::{BTreeMap, BTreeSet};
-use watter_core::{CostWeights, Group, Order, OrderId, TravelCost, Ts};
+use watter_core::{CostWeights, Group, Order, OrderId, TravelBound, Ts};
 
 /// Pool configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -64,6 +64,19 @@ impl OrderPool {
     pub fn new(cfg: PoolConfig) -> Self {
         Self {
             cfg,
+            ..Self::default()
+        }
+    }
+
+    /// Empty pool whose shareability graph prunes insert scans spatially
+    /// (see [`ShareGraph::with_spatial`]): inserts visit only the
+    /// slack-reachable cell ring around the new order's pick-up instead of
+    /// every pooled order. Pool state stays bit-identical to
+    /// [`OrderPool::new`].
+    pub fn with_spatial(cfg: PoolConfig, spatial: crate::spatial::SpatialPrune) -> Self {
+        Self {
+            cfg,
+            graph: ShareGraph::with_spatial(spatial),
             ..Self::default()
         }
     }
@@ -110,7 +123,7 @@ impl OrderPool {
     }
 
     /// Insert an arriving order (update event 1) and maintain `Gb`.
-    pub fn insert<C: TravelCost>(&mut self, order: Order, now: Ts, oracle: &C) {
+    pub fn insert<C: TravelBound>(&mut self, order: Order, now: Ts, oracle: &C) {
         self.stats.inserted += 1;
         let id = order.id;
         self.graph.insert(order, now, self.cfg.limits, oracle);
@@ -137,7 +150,7 @@ impl OrderPool {
 
     /// Remove orders that were dispatched together or rejected (update
     /// event 2), recomputing bests that referenced them.
-    pub fn remove_orders<C: TravelCost>(&mut self, ids: &[OrderId], now: Ts, oracle: &C) {
+    pub fn remove_orders<C: TravelBound>(&mut self, ids: &[OrderId], now: Ts, oracle: &C) {
         let mut affected: BTreeSet<OrderId> = BTreeSet::new();
         for &id in ids {
             self.stats.removed += 1;
@@ -163,7 +176,7 @@ impl OrderPool {
     /// Periodic maintenance (Algorithm 1 lines 5–6): expire edges and
     /// stale best groups (update events 3 and 4). Returns orders that can
     /// no longer be served even solo and must be rejected by the caller.
-    pub fn maintain<C: TravelCost>(&mut self, now: Ts, oracle: &C) -> Vec<OrderId> {
+    pub fn maintain<C: TravelBound>(&mut self, now: Ts, oracle: &C) -> Vec<OrderId> {
         let touched = self.graph.expire_edges(now);
         for id in touched {
             if self.best_is_stale(id, now) {
@@ -207,7 +220,7 @@ impl OrderPool {
     }
 
     /// Recompute an order's best group from scratch.
-    fn recompute<C: TravelCost>(&mut self, id: OrderId, now: Ts, oracle: &C) {
+    fn recompute<C: TravelBound>(&mut self, id: OrderId, now: Ts, oracle: &C) {
         self.stats.recomputes += 1;
         self.unlink_best(id);
         let Some(center) = self.graph.order_handle(id).cloned() else {
@@ -227,7 +240,7 @@ impl OrderPool {
     }
 
     /// Offer a freshly enumerated group to each of its members.
-    fn offer_group<C: TravelCost>(&mut self, g: Group, now: Ts, oracle: &C) {
+    fn offer_group<C: TravelBound>(&mut self, g: Group, now: Ts, oracle: &C) {
         let _ = oracle;
         let mean = g.mean_extra_time(now, self.cfg.weights);
         let member_ids: Vec<OrderId> = g.order_ids().collect();
@@ -264,7 +277,7 @@ impl OrderPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use watter_core::{Dur, NodeId};
+    use watter_core::{Dur, NodeId, TravelCost};
 
     struct Line;
     impl TravelCost for Line {
@@ -272,6 +285,7 @@ mod tests {
             (a.0 as i64 - b.0 as i64).abs() * 10
         }
     }
+    impl TravelBound for Line {}
 
     fn order(id: u32, p: u32, d: u32, deadline: Ts) -> Order {
         Order {

@@ -8,9 +8,10 @@
 //! once expired.
 
 use crate::planner::{plan_min_cost, PlanLimits};
-use std::collections::BTreeMap;
+use crate::spatial::SpatialPrune;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use watter_core::{Dur, Group, Order, OrderId, TravelCost, Ts};
+use watter_core::{Dur, Group, Order, OrderId, TravelBound, Ts};
 
 /// A shareability edge between two pooled orders.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,12 +37,74 @@ pub struct PairEdge {
 pub struct ShareGraph {
     orders: BTreeMap<OrderId, Arc<Order>>,
     adj: BTreeMap<OrderId, BTreeMap<OrderId, PairEdge>>,
+    spatial: Option<SpatialState>,
+}
+
+/// Grid bucketing of pooled orders by pick-up cell, used to restrict the
+/// insert scan to the slack-reachable ring. Produces bit-identical edge
+/// sets to the full scan (the pruning bound is a necessary condition for
+/// the pair pre-filter to pass).
+#[derive(Clone, Debug)]
+struct SpatialState {
+    prune: SpatialPrune,
+    /// Pooled order ids per pick-up cell; `BTreeSet` keeps within-cell
+    /// iteration id-ordered and run-to-run deterministic.
+    cells: BTreeMap<usize, BTreeSet<OrderId>>,
+    /// Histogram of `deadline − direct_cost` ("latest feasible solo start")
+    /// over pooled orders. Its maximum bounds every pooled order's slack at
+    /// any `now`, which caps the ring radius an insert must visit.
+    latest_start: BTreeMap<Ts, usize>,
+}
+
+impl SpatialState {
+    fn track(&mut self, o: &Order) {
+        let cell = self.prune.grid().cell_of(o.pickup);
+        self.cells.entry(cell).or_default().insert(o.id);
+        *self
+            .latest_start
+            .entry(o.deadline - o.direct_cost)
+            .or_insert(0) += 1;
+    }
+
+    fn forget(&mut self, o: &Order) {
+        let cell = self.prune.grid().cell_of(o.pickup);
+        if let Some(bucket) = self.cells.get_mut(&cell) {
+            bucket.remove(&o.id);
+            if bucket.is_empty() {
+                self.cells.remove(&cell);
+            }
+        }
+        if let Some(count) = self.latest_start.get_mut(&(o.deadline - o.direct_cost)) {
+            *count -= 1;
+            if *count == 0 {
+                self.latest_start.remove(&(o.deadline - o.direct_cost));
+            }
+        }
+    }
+
+    fn max_latest_start(&self) -> Option<Ts> {
+        self.latest_start.keys().next_back().copied()
+    }
 }
 
 impl ShareGraph {
     /// Empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty graph with spatial candidate pruning: inserts bucket orders by
+    /// pick-up cell and scan only the slack-reachable ring instead of the
+    /// whole pool. Edge sets are bit-identical to [`ShareGraph::new`].
+    pub fn with_spatial(spatial: SpatialPrune) -> Self {
+        Self {
+            spatial: Some(SpatialState {
+                prune: spatial,
+                cells: BTreeMap::new(),
+                latest_start: BTreeMap::new(),
+            }),
+            ..Self::default()
+        }
     }
 
     /// Number of pooled orders.
@@ -95,8 +158,12 @@ impl ShareGraph {
     /// Insert a new order at time `now`, creating shareability edges to
     /// every live order whose pair route is feasible (Section IV-A).
     ///
-    /// Returns the ids of the new neighbours.
-    pub fn insert<C: TravelCost>(
+    /// Candidate scan: the full pool, or only the slack-reachable cell ring
+    /// when the graph was built [`with_spatial`](ShareGraph::with_spatial)
+    /// — same edges either way.
+    ///
+    /// Returns the ids of the new neighbours, ascending.
+    pub fn insert<C: TravelBound>(
         &mut self,
         order: Order,
         now: Ts,
@@ -109,27 +176,70 @@ impl ShareGraph {
             "order {id} inserted twice into the pool"
         );
         let order = Arc::new(order);
-        let mut new_neighbors = Vec::new();
-        for other in self.orders.values() {
-            if !pair_prefilter(&order, other, now, oracle) {
-                continue;
+        let mut new_neighbors: Vec<(OrderId, PairEdge)> = Vec::new();
+        match &self.spatial {
+            None => {
+                for other in self.orders.values() {
+                    if let Some(edge) = pair_edge(&order, other, now, limits, oracle) {
+                        new_neighbors.push((other.id, edge));
+                    }
+                }
             }
-            if let Some(route) =
-                plan_min_cost(&[order.as_ref(), other.as_ref()], now, limits, oracle)
-            {
-                let group = Group::new(vec![Arc::clone(&order), Arc::clone(other)], route, oracle);
-                let edge = PairEdge {
-                    expires_at: group.expires_at(oracle),
-                    route_cost: group.route.cost(),
-                };
-                if edge.expires_at >= now {
-                    new_neighbors.push((other.id, edge));
+            Some(st) => {
+                // Both pre-filter arms require the *new* order to have solo
+                // slack left; without it no pair is admissible and the scan
+                // can be skipped outright.
+                let slack_new = order.deadline - order.direct_cost - now;
+                let pool_slack = st.max_latest_start().map(|dd| dd - now);
+                if slack_new > 0 {
+                    if let Some(pool_slack) = pool_slack {
+                        // No pooled order's slack exceeds this, so once the
+                        // ring bound reaches it the remaining rings cannot
+                        // hold an admissible partner.
+                        let ring_limit = slack_new.max(pool_slack);
+                        let grid = st.prune.grid();
+                        let (cx, cy) = grid.cell_xy(grid.cell_of(order.pickup));
+                        let mut candidates: Vec<OrderId> = Vec::new();
+                        grid.ring_search(order.pickup, |cell| {
+                            let (x, y) = grid.cell_xy(cell);
+                            let d = cx.abs_diff(x).max(cy.abs_diff(y));
+                            if st.prune.skip(d, ring_limit) {
+                                return true; // this ring and beyond: hopeless
+                            }
+                            if let Some(bucket) = st.cells.get(&cell) {
+                                candidates.extend(bucket.iter().copied());
+                            }
+                            false
+                        });
+                        candidates.sort_unstable();
+                        for cand in candidates {
+                            let other = &self.orders[&cand];
+                            // Per-pair refinement of the ring bound: the
+                            // pre-filter can only pass if the pick-up leg is
+                            // below one of the pair's slacks.
+                            let d = st.prune.grid().cell_distance(order.pickup, other.pickup);
+                            let pair_slack =
+                                slack_new.max(other.deadline - other.direct_cost - now);
+                            if st.prune.skip(d, pair_slack) {
+                                continue;
+                            }
+                            if let Some(edge) = pair_edge(&order, other, now, limits, oracle) {
+                                new_neighbors.push((other.id, edge));
+                            }
+                        }
+                    }
                 }
             }
         }
+        // Ascending by construction: the full scan iterates the ordered
+        // order map, and the spatial path sorts `candidates` up front.
+        debug_assert!(new_neighbors.windows(2).all(|w| w[0].0 < w[1].0));
         for &(j, e) in &new_neighbors {
             self.adj.entry(id).or_default().insert(j, e);
             self.adj.entry(j).or_default().insert(id, e);
+        }
+        if let Some(st) = &mut self.spatial {
+            st.track(&order);
         }
         self.orders.insert(id, order);
         new_neighbors.into_iter().map(|(j, _)| j).collect()
@@ -148,7 +258,11 @@ impl ShareGraph {
                 m.remove(&id);
             }
         }
-        self.orders.remove(&id);
+        if let Some(order) = self.orders.remove(&id) {
+            if let Some(st) = &mut self.spatial {
+                st.forget(&order);
+            }
+        }
         neighbors
     }
 
@@ -178,6 +292,27 @@ impl ShareGraph {
     }
 }
 
+/// Validate one candidate pair: pre-filter, then the pair planner; returns
+/// the shareability edge if a live joint route exists.
+fn pair_edge<C: TravelBound>(
+    a: &Arc<Order>,
+    b: &Arc<Order>,
+    now: Ts,
+    limits: PlanLimits,
+    oracle: &C,
+) -> Option<PairEdge> {
+    if !pair_prefilter(a, b, now, oracle) {
+        return None;
+    }
+    let route = plan_min_cost(&[a.as_ref(), b.as_ref()], now, limits, oracle)?;
+    let group = Group::new(vec![Arc::clone(a), Arc::clone(b)], route, oracle);
+    let edge = PairEdge {
+        expires_at: group.expires_at(oracle),
+        route_cost: group.route.cost(),
+    };
+    (edge.expires_at >= now).then_some(edge)
+}
+
 /// Cheap necessary condition for a pair to be shareable, used to avoid
 /// running the pair planner against every pooled order.
 ///
@@ -186,20 +321,36 @@ impl ShareGraph {
 /// order picked up second then still needs its direct leg as a lower bound;
 /// if that already busts the second order's deadline in both pick-up orders,
 /// the pair is infeasible.
-fn pair_prefilter<C: TravelCost>(a: &Order, b: &Order, now: Ts, oracle: &C) -> bool {
-    let ij = oracle.cost(a.pickup, b.pickup);
-    let ji = oracle.cost(b.pickup, a.pickup);
-    // Route starting at a's pickup: b picked up after ≥ ij seconds.
-    let a_first_ok = now + ij + b.direct_cost < b.deadline && now + a.direct_cost < a.deadline;
-    // Route starting at b's pickup: a picked up after ≥ ji seconds.
-    let b_first_ok = now + ji + a.direct_cost < a.deadline && now + b.direct_cost < b.deadline;
-    a_first_ok || b_first_ok
+///
+/// The check is bound-guided: each arm is first tested against the
+/// oracle's [`lower_bound`](TravelBound::lower_bound) (free when ALT
+/// landmarks are active, exact on the dense table) and only arms the
+/// optimistic bound cannot rule out pay for an exact query. Because the
+/// bound is admissible, admission is **identical** to an exact-only filter
+/// (`tests/accel.rs` proves it property-wise).
+pub fn pair_prefilter<C: TravelBound>(a: &Order, b: &Order, now: Ts, oracle: &C) -> bool {
+    let a_solo = now + a.direct_cost < a.deadline;
+    let b_solo = now + b.direct_cost < b.deadline;
+    // Bound phase: optimistic pick-up legs.
+    let a_first_maybe =
+        a_solo && now + oracle.lower_bound(a.pickup, b.pickup) + b.direct_cost < b.deadline;
+    let b_first_maybe =
+        b_solo && now + oracle.lower_bound(b.pickup, a.pickup) + a.direct_cost < a.deadline;
+    if !a_first_maybe && !b_first_maybe {
+        return false;
+    }
+    // Exact phase, only for arms the bound could not rule out. Route
+    // starting at a's pickup: b picked up after ≥ cost(p_a, p_b) seconds.
+    if a_first_maybe && now + oracle.cost(a.pickup, b.pickup) + b.direct_cost < b.deadline {
+        return true;
+    }
+    b_first_maybe && now + oracle.cost(b.pickup, a.pickup) + a.direct_cost < a.deadline
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use watter_core::NodeId;
+    use watter_core::{NodeId, TravelCost};
 
     struct Line;
     impl TravelCost for Line {
@@ -207,6 +358,7 @@ mod tests {
             (a.0 as i64 - b.0 as i64).abs() * 10
         }
     }
+    impl TravelBound for Line {}
 
     fn order(id: u32, p: u32, d: u32, release: Ts, deadline: Ts) -> Order {
         Order {
@@ -275,6 +427,61 @@ mod tests {
         g.insert(order(0, 0, 10, 0, 200), 0, limits(), &Line); // direct 100
         assert!(g.dead_orders(50).is_empty());
         assert_eq!(g.dead_orders(100), vec![OrderId(0)]);
+    }
+
+    #[test]
+    fn spatial_insert_matches_full_scan() {
+        use watter_core::TravelCost as _;
+        use watter_road::{citygen::CityConfig, CostMatrix, GridIndex};
+        let g = CityConfig {
+            width: 10,
+            height: 10,
+            ..Default::default()
+        }
+        .generate(5);
+        let oracle = CostMatrix::build(&g);
+        let spatial = SpatialPrune::for_graph(&g, GridIndex::build(&g, 6));
+        let mut full = ShareGraph::new();
+        let mut pruned = ShareGraph::with_spatial(spatial);
+        let n = g.node_count() as u32;
+        let limits = limits();
+        // Deterministic pseudo-random order stream with mixed slacks, so
+        // some pairs are admitted, some are prefilter-rejected and some
+        // sit in skippable rings.
+        let mut now = 0;
+        for i in 0..60u32 {
+            let p = NodeId((i * 37 + 11) % n);
+            let d = NodeId((i * 53 + 29) % n);
+            let direct = oracle.cost(p, d);
+            if p == d || direct <= 0 {
+                continue;
+            }
+            now += 7;
+            let o = Order {
+                id: OrderId(i),
+                pickup: p,
+                dropoff: d,
+                riders: 1,
+                release: now,
+                deadline: now + direct * (1 + i as i64 % 3) + i as i64 % 11,
+                wait_limit: direct,
+                direct_cost: direct,
+            };
+            let a = full.insert(o.clone(), now, limits, &oracle);
+            let b = pruned.insert(o, now, limits, &oracle);
+            assert_eq!(a, b, "insert {i}: neighbour sets diverge");
+            if i % 13 == 0 {
+                let victim = OrderId(i / 2);
+                assert_eq!(full.remove(victim), pruned.remove(victim));
+            }
+        }
+        assert!(full.edge_count() > 0, "test must exercise real edges");
+        assert_eq!(full.edge_count(), pruned.edge_count());
+        for id in full.order_ids() {
+            let fe: Vec<_> = full.neighbors(id).collect();
+            let pe: Vec<_> = pruned.neighbors(id).collect();
+            assert_eq!(fe, pe, "adjacency of {id} diverges");
+        }
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Spatial candidate pruning for shareability-edge construction.
+//!
+//! Inserting an order into the [`ShareGraph`](crate::ShareGraph) used to
+//! scan *every* live pooled order. [`SpatialPrune`] turns that into an
+//! O(nearby) scan: pooled orders are bucketed by the grid cell of their
+//! pick-up, and an insert only visits cells within the **slack-reachable
+//! ring** of the new order's pick-up.
+//!
+//! The ring radius is derived from the same necessary condition the pair
+//! pre-filter checks: a pair `(a, b)` can only be shareable if the travel
+//! time between their pick-ups is below one of the pair's slacks
+//! (`deadline − now − direct`). Travel time is bounded from below
+//! geometrically — every edge satisfies `travel(e) ≥ γ·‖e‖` with
+//! `γ = min_e travel(e)/‖e‖`
+//! ([`RoadGraph::min_cost_per_unit_distance`]), and Euclidean edge lengths
+//! along any path sum to at least the straight-line distance, so
+//!
+//! ```text
+//! cost(p_a, p_b) ≥ γ·‖p_a − p_b‖ ≥ γ·(d − 1)·min_cell_extent
+//! ```
+//!
+//! for pick-ups whose cells are `d ≥ 1` apart (Chebyshev). Cells whose
+//! bound already exceeds every relevant slack cannot contain a shareable
+//! partner, so skipping them provably changes nothing: the pruned insert
+//! produces **bit-identical edge sets** to the full scan (proven by the
+//! equivalence property tests in `tests/accel.rs`).
+
+use watter_core::Dur;
+use watter_road::{GridIndex, RoadGraph};
+
+/// Margin applied to the geometric bound so floating-point rounding in
+/// `γ`/extent arithmetic can never push a computed bound *above* its true
+/// value (which would over-prune). The true bound is conservative by whole
+/// integer seconds in practice; giving up 0.1% of it costs nothing.
+const SAFETY: f64 = 1.0 - 1e-3;
+
+/// Grid-based spatial pruning parameters for `ShareGraph::insert`.
+///
+/// Cheap to clone (shares nothing mutable); the embedded [`GridIndex`] is
+/// typically the same one the dispatcher already uses for demand/supply
+/// snapshots.
+#[derive(Clone, Debug)]
+pub struct SpatialPrune {
+    grid: GridIndex,
+    /// Admissible travel-cost bound contributed by each ring of cell
+    /// distance beyond the first: `γ × min_cell_extent × SAFETY`.
+    cost_per_ring: f64,
+}
+
+impl SpatialPrune {
+    /// Build from a grid index and a precomputed `γ`
+    /// (see [`RoadGraph::min_cost_per_unit_distance`]).
+    ///
+    /// `γ ≤ 0` (or NaN) disables pruning — every insert degenerates to the
+    /// full scan, which is always sound.
+    pub fn new(grid: GridIndex, min_cost_per_dist: f64) -> Self {
+        let gamma = if min_cost_per_dist.is_nan() {
+            0.0
+        } else {
+            min_cost_per_dist.max(0.0)
+        };
+        let cost_per_ring = gamma * grid.min_cell_extent() * SAFETY;
+        Self {
+            grid,
+            cost_per_ring,
+        }
+    }
+
+    /// Build from the road graph the orders live on, deriving `γ` from its
+    /// edges. The grid must be built over the same graph.
+    pub fn for_graph(graph: &RoadGraph, grid: GridIndex) -> Self {
+        Self::new(grid, graph.min_cost_per_unit_distance())
+    }
+
+    /// The grid index used for bucketing.
+    #[inline]
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// Admissible lower bound on the travel cost between two nodes whose
+    /// pick-up cells are `d` apart (Chebyshev). Zero for adjacent or
+    /// same-cell pairs.
+    #[inline]
+    pub fn ring_cost_bound(&self, d: usize) -> f64 {
+        if d <= 1 {
+            0.0
+        } else {
+            (d - 1) as f64 * self.cost_per_ring
+        }
+    }
+
+    /// Whether a candidate whose pick-up cell is `d` away can be skipped
+    /// outright given the pair's largest slack: if even the geometric bound
+    /// reaches the slack, the pair pre-filter is guaranteed to fail.
+    #[inline]
+    pub fn skip(&self, d: usize, max_slack: Dur) -> bool {
+        self.ring_cost_bound(d) >= max_slack as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watter_road::citygen::CityConfig;
+
+    #[test]
+    fn ring_bound_grows_linearly_after_first_ring() {
+        let g = CityConfig {
+            width: 8,
+            height: 8,
+            ..Default::default()
+        }
+        .generate(3);
+        let sp = SpatialPrune::for_graph(&g, GridIndex::build(&g, 4));
+        assert_eq!(sp.ring_cost_bound(0), 0.0);
+        assert_eq!(sp.ring_cost_bound(1), 0.0);
+        let b2 = sp.ring_cost_bound(2);
+        assert!(b2 > 0.0, "city edges must yield a positive γ");
+        assert!((sp.ring_cost_bound(4) - 3.0 * b2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_never_exceeds_true_cost() {
+        use watter_core::TravelCost;
+        let g = CityConfig {
+            width: 7,
+            height: 6,
+            ..Default::default()
+        }
+        .generate(11);
+        let sp = SpatialPrune::for_graph(&g, GridIndex::build(&g, 5));
+        let m = watter_road::CostMatrix::build(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if !m.reachable(a, b) {
+                    continue;
+                }
+                let d = sp.grid().cell_distance(a, b);
+                assert!(
+                    sp.ring_cost_bound(d) <= m.cost(a, b) as f64,
+                    "bound({a},{b}) at cell distance {d} exceeds exact cost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_gamma_disables_pruning() {
+        let sp = SpatialPrune::new(
+            GridIndex::build(
+                &watter_road::RoadGraph::from_edges(vec![(0.0, 0.0), (9.0, 9.0)], vec![]),
+                3,
+            ),
+            f64::NAN,
+        );
+        assert!(!sp.skip(100, 1));
+    }
+
+    #[test]
+    fn infinite_gamma_skips_distant_rings_only() {
+        // No positive-length edges: distinct-coordinate nodes are
+        // unreachable, so distant cells are safely skippable; near rings
+        // are always visited.
+        let g = watter_road::RoadGraph::from_edges(vec![(0.0, 0.0), (9.0, 9.0)], vec![]);
+        let sp = SpatialPrune::for_graph(&g, GridIndex::build(&g, 3));
+        assert!(!sp.skip(0, 1_000));
+        assert!(!sp.skip(1, 1_000));
+        assert!(sp.skip(2, 1_000));
+    }
+}

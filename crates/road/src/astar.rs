@@ -21,7 +21,7 @@ use crate::landmarks::Landmarks;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex};
-use watter_core::{Dur, NodeId, TravelCost};
+use watter_core::{Dur, NodeId, TravelBound, TravelCost};
 
 /// Exact point-query travel-cost oracle for graphs too large for a dense
 /// table. `O(landmarks × n)` memory, millisecond-scale queries.
@@ -171,6 +171,22 @@ impl TravelCost for AltOracle {
         }
         let mut ws = self.ws.lock().unwrap_or_else(|e| e.into_inner());
         ws.search(&self.graph, &self.landmarks, self.symmetric, a, b)
+    }
+}
+
+impl TravelBound for AltOracle {
+    /// The landmark triangle-inequality bound the A* heuristic already
+    /// uses: `O(landmarks)` integer ops, no search, no locking. On
+    /// asymmetric graphs — where the symmetric-form bound is inadmissible —
+    /// this degrades to `0` (always admissible, never prunes), mirroring
+    /// the zero-heuristic fallback of the search itself.
+    #[inline]
+    fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+        if self.symmetric {
+            self.landmarks.lower_bound(a, b)
+        } else {
+            0
+        }
     }
 }
 

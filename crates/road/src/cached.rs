@@ -1,0 +1,211 @@
+//! Sharded memoization layer over point-query travel-cost oracles.
+//!
+//! Within one dispatch batch the same `(pickup, dropoff)` pair is queried
+//! many times: the shareability pre-filter, the pair planner, clique
+//! validation, group-expiry checks and worker assignment all walk the same
+//! few legs. For the dense table that repetition is free; for the
+//! [`AltOracle`](crate::AltOracle) every repeat is another A* search.
+//! [`CachedOracle`] wraps any [`TravelCost`] backend with a fixed-capacity,
+//! direct-mapped cache: hits are allocation-free, eviction is deterministic
+//! (slot index is a pure function of the queried pair), and cached answers
+//! are the inner oracle's answers verbatim — so a cached run is
+//! bit-identical to an uncached one (`tests/accel.rs` proves it
+//! property-wise).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use watter_core::{Dur, NodeId, TravelBound, TravelCost};
+
+/// Number of independently locked shards (power of two). Shards bound lock
+/// contention when the oracle is shared across threads; within one shard the
+/// cache is a direct-mapped table.
+const SHARDS: usize = 16;
+
+/// `(a, b)` packed into the shard key; `u64::MAX` doubles as the empty-slot
+/// sentinel (it would require both node ids to be `u32::MAX`, which no graph
+/// in this workspace can produce — and such a query bypasses the cache).
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    key: u64,
+    cost: Dur,
+}
+
+/// A fixed-capacity, deterministic memoization layer over a point-query
+/// travel-cost oracle.
+///
+/// * **Hits are allocation-free**: one hash, one lock, one array read.
+/// * **Eviction is deterministic**: the cache is direct-mapped, so the slot
+///   a pair lands in depends only on the pair, never on insertion history —
+///   runs stay reproducible from the scenario seed alone.
+/// * **Transparent**: answers are the inner oracle's answers, so wrapping
+///   never changes simulation results, only their latency.
+///
+/// Wrap by value, reference or `Arc` — anything implementing
+/// [`TravelCost`] works; [`TravelBound`] is forwarded when the inner oracle
+/// provides it (bounds are `O(landmarks)` and not worth caching).
+#[derive(Debug)]
+pub struct CachedOracle<C> {
+    inner: C,
+    shards: Vec<Mutex<Vec<Entry>>>,
+    slot_mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<C: TravelCost> CachedOracle<C> {
+    /// Default total capacity: 64 Ki entries ≈ 1 MiB — enough to hold every
+    /// pair a dispatch batch touches at the paper's densities.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Wrap `inner` with a cache of `capacity` total entries (rounded up to
+    /// a power of two, minimum one entry per shard).
+    pub fn new(inner: C, capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).next_power_of_two().max(1);
+        let shards = (0..SHARDS)
+            .map(|_| {
+                Mutex::new(vec![
+                    Entry {
+                        key: EMPTY,
+                        cost: 0
+                    };
+                    per_shard
+                ])
+            })
+            .collect();
+        Self {
+            inner,
+            shards,
+            slot_mask: (per_shard - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Wrap `inner` with [`Self::DEFAULT_CAPACITY`] entries.
+    pub fn with_default_capacity(inner: C) -> Self {
+        Self::new(inner, Self::DEFAULT_CAPACITY)
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (inner-oracle queries) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total entries across all shards.
+    pub fn capacity(&self) -> usize {
+        SHARDS * (self.slot_mask as usize + 1)
+    }
+
+    /// SplitMix64 finalizer: spreads the packed pair over shard and slot
+    /// bits so structured query patterns (scans along one row) don't collide.
+    #[inline]
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+impl<C: TravelCost> TravelCost for CachedOracle<C> {
+    fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+        let key = ((a.0 as u64) << 32) | b.0 as u64;
+        if key == EMPTY {
+            return self.inner.cost(a, b);
+        }
+        let h = Self::mix(key);
+        let shard = &self.shards[(h as usize) & (SHARDS - 1)];
+        let slot = ((h >> SHARDS.trailing_zeros()) & self.slot_mask) as usize;
+        let mut entries = shard.lock().unwrap_or_else(|e| e.into_inner());
+        let e = &mut entries[slot];
+        if e.key == key {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return e.cost;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let cost = self.inner.cost(a, b);
+        *e = Entry { key, cost };
+        cost
+    }
+}
+
+impl<C: TravelBound> TravelBound for CachedOracle<C> {
+    #[inline]
+    fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+        self.inner.lower_bound(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counting 1-D metric: |a − b| × 10 s, tracking how often it is asked.
+    struct Line(AtomicUsize);
+    impl TravelCost for Line {
+        fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            (a.0 as i64 - b.0 as i64).abs() * 10
+        }
+    }
+    impl TravelBound for Line {
+        fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+            (a.0 as i64 - b.0 as i64).abs() * 5
+        }
+    }
+
+    #[test]
+    fn hits_skip_the_inner_oracle() {
+        let c = CachedOracle::new(Line(AtomicUsize::new(0)), 64);
+        assert_eq!(c.cost(NodeId(3), NodeId(8)), 50);
+        assert_eq!(c.cost(NodeId(3), NodeId(8)), 50);
+        assert_eq!(c.cost(NodeId(3), NodeId(8)), 50);
+        assert_eq!(c.inner().0.load(Ordering::Relaxed), 1);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn directions_are_distinct_keys() {
+        let c = CachedOracle::new(Line(AtomicUsize::new(0)), 64);
+        assert_eq!(c.cost(NodeId(1), NodeId(4)), 30);
+        assert_eq!(c.cost(NodeId(4), NodeId(1)), 30);
+        assert_eq!(c.inner().0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn tiny_capacity_still_answers_correctly() {
+        // One slot per shard: constant eviction, never a wrong answer.
+        let c = CachedOracle::new(Line(AtomicUsize::new(0)), 1);
+        for i in 0..200u32 {
+            let (a, b) = (NodeId(i % 17), NodeId((i * 7) % 23));
+            assert_eq!(c.cost(a, b), (a.0 as i64 - b.0 as i64).abs() * 10);
+        }
+    }
+
+    #[test]
+    fn lower_bound_passes_through_uncached() {
+        let c = CachedOracle::new(Line(AtomicUsize::new(0)), 64);
+        assert_eq!(c.lower_bound(NodeId(0), NodeId(6)), 30);
+        assert_eq!(c.inner().0.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two_per_shard() {
+        let c = CachedOracle::new(Line(AtomicUsize::new(0)), 100);
+        // 100 / 16 shards = 6.25 → 7 → 8 slots per shard.
+        assert_eq!(c.capacity(), 16 * 8);
+    }
+}

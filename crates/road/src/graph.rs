@@ -170,6 +170,30 @@ impl RoadGraph {
         let (bx, by) = self.coord(b);
         ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
     }
+
+    /// The graph-wide minimum travel cost per unit of Euclidean coordinate
+    /// distance, `γ = min_e travel(e) / ‖e‖` over edges of positive length.
+    ///
+    /// Because every edge satisfies `travel(e) ≥ γ·‖e‖` and Euclidean edge
+    /// lengths along any path sum to at least the straight-line distance,
+    /// `cost(a, b) ≥ γ·‖a − b‖` for **every** node pair — an admissible
+    /// geometric lower bound that needs no per-pair work at all. Returns
+    /// `f64::INFINITY` when no positive-length edge exists (then any two
+    /// nodes at distinct coordinates are disconnected, so an infinite bound
+    /// is still admissible); zero-length edges never weaken the bound.
+    pub fn min_cost_per_unit_distance(&self) -> f64 {
+        let mut gamma = f64::INFINITY;
+        for u in self.nodes() {
+            let (targets, travels) = self.out_edges(u);
+            for (&v, &w) in targets.iter().zip(travels) {
+                let len = self.euclid(u, NodeId(v));
+                if len > 0.0 {
+                    gamma = gamma.min(w as f64 / len);
+                }
+            }
+        }
+        gamma
+    }
 }
 
 #[cfg(test)]

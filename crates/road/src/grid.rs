@@ -130,6 +130,16 @@ impl GridIndex {
         let (bx, by) = self.cell_xy(self.cell_of(b));
         ax.abs_diff(bx).max(ay.abs_diff(by))
     }
+
+    /// The smaller of the two cell side lengths, in coordinate units.
+    ///
+    /// Two nodes whose cells are `d ≥ 1` apart (Chebyshev) are at least
+    /// `(d − 1) × min_cell_extent()` apart in Euclidean distance — the
+    /// geometric leg of the spatial candidate-pruning bound.
+    #[inline]
+    pub fn min_cell_extent(&self) -> f64 {
+        self.cell_size.0.min(self.cell_size.1)
+    }
 }
 
 #[cfg(test)]

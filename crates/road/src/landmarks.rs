@@ -22,15 +22,32 @@ pub struct Landmarks {
 }
 
 impl Landmarks {
-    /// Select up to `k` landmarks by farthest-point sampling (the classic
-    /// ALT heuristic) and precompute their distance vectors.
+    /// Select up to `k` landmarks and precompute their distance vectors,
+    /// parallelizing the Dijkstra sweeps across all available cores.
     ///
-    /// Selection never repeats a landmark, and a node unreachable from
-    /// every selected landmark (an uncovered component) is preferred over
-    /// any covered node — so on a disconnected graph each component gets a
-    /// landmark before any component gets its second. Fewer than `k`
-    /// landmarks are returned when the graph runs out of nodes.
+    /// Selection is farthest-point sampling in coordinate space with a
+    /// component-coverage preference (see [`select_landmarks`]): it needs no
+    /// shortest-path sweeps itself, so the `k` expensive single-source
+    /// sweeps become independent and run one scoped thread chunk each —
+    /// the same pattern as [`crate::CostMatrix::build`]. Results are
+    /// bit-identical for any thread count.
     pub fn build(graph: &RoadGraph, k: usize) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        Self::build_with_threads(graph, k, threads)
+    }
+
+    /// Single-threaded build — the baseline the parallel build is benched
+    /// against. Same landmarks, same distance vectors.
+    pub fn build_serial(graph: &RoadGraph, k: usize) -> Self {
+        Self::build_with_threads(graph, k, 1)
+    }
+
+    /// Build with an explicit worker-thread count. The selected landmark
+    /// set is computed up front (cheap, thread-independent); the distance
+    /// sweeps are split into contiguous chunks, one scoped thread each,
+    /// every thread reusing one [`DijkstraWorkspace`]. Bit-identical output
+    /// for any `threads`.
+    pub fn build_with_threads(graph: &RoadGraph, k: usize, threads: usize) -> Self {
         let n = graph.node_count();
         if n == 0 || k == 0 {
             return Self {
@@ -38,40 +55,26 @@ impl Landmarks {
                 dist: Vec::new(),
             };
         }
-        let mut ws = DijkstraWorkspace::new(n);
-        let mut nodes: Vec<NodeId> = Vec::with_capacity(k);
-        let mut dist: Vec<Vec<Dur>> = Vec::with_capacity(k);
-        let mut current = NodeId(0);
-        while dist.len() < k.min(n) {
-            nodes.push(current);
-            dist.push(ws.single_source(graph, current).to_vec());
-            // Next landmark: the first node no selected landmark reaches
-            // (uncovered component), else the covered node farthest from
-            // its nearest landmark; never a node already selected.
-            let mut uncovered: Option<NodeId> = None;
-            let mut farthest: (Dur, Option<NodeId>) = (0, None);
-            for v in 0..n {
-                let node = NodeId(v as u32);
-                if nodes.contains(&node) {
-                    continue;
-                }
-                let nearest = dist
-                    .iter()
-                    .map(|row| row[v])
-                    .min()
-                    .expect("at least one landmark selected");
-                if nearest >= UNREACHABLE {
-                    if uncovered.is_none() {
-                        uncovered = Some(node);
-                    }
-                } else if nearest > farthest.0 {
-                    farthest = (nearest, Some(node));
-                }
+        let nodes = select_landmarks(graph, k);
+        let mut dist: Vec<Vec<Dur>> = vec![Vec::new(); nodes.len()];
+        let threads = threads.clamp(1, nodes.len());
+        if threads <= 1 {
+            let mut ws = DijkstraWorkspace::new(n);
+            for (node, row) in nodes.iter().zip(dist.iter_mut()) {
+                *row = ws.single_source(graph, *node).to_vec();
             }
-            match uncovered.or(farthest.1) {
-                Some(next) => current = next,
-                None => break, // every node is already a landmark
-            }
+        } else {
+            let per = nodes.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (node_chunk, row_chunk) in nodes.chunks(per).zip(dist.chunks_mut(per)) {
+                    scope.spawn(move || {
+                        let mut ws = DijkstraWorkspace::new(n);
+                        for (node, row) in node_chunk.iter().zip(row_chunk.iter_mut()) {
+                            *row = ws.single_source(graph, *node).to_vec();
+                        }
+                    });
+                }
+            });
         }
         Self { nodes, dist }
     }
@@ -111,6 +114,80 @@ impl Landmarks {
         }
         lb
     }
+}
+
+/// Deterministically pick up to `k` landmark nodes without any
+/// shortest-path sweeps, so the sweeps themselves can run in parallel:
+///
+/// * farthest-point sampling in **coordinate space** (squared Euclidean
+///   distance to the nearest selected landmark), seeded at node 0 — the
+///   classic spread-the-landmarks heuristic, metric-free;
+/// * a node in a connected component that holds no landmark yet is
+///   preferred over any covered node (components computed by union-find
+///   over the edge list, ignoring direction), so on a disconnected graph
+///   each component gets a landmark before any gets its second;
+/// * no node is selected twice; fewer than `k` landmarks are returned when
+///   the graph runs out of useful nodes (remaining nodes co-located with a
+///   landmark are never picked — their bound contribution would be nil).
+fn select_landmarks(graph: &RoadGraph, k: usize) -> Vec<NodeId> {
+    let n = graph.node_count();
+    // Union-find over the undirected view of the edge list.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize]; // path halving
+            v = parent[v as usize];
+        }
+        v
+    }
+    for u in graph.nodes() {
+        let (targets, _) = graph.out_edges(u);
+        for &v in targets {
+            let (ru, rv) = (find(&mut parent, u.0), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+    }
+
+    let mut selected = vec![false; n];
+    let mut covered = vec![false; n]; // indexed by component root
+    let mut nearest_d2 = vec![f64::INFINITY; n];
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(k.min(n));
+    let mut current = NodeId(0);
+    while nodes.len() < k.min(n) {
+        nodes.push(current);
+        selected[current.index()] = true;
+        covered[find(&mut parent, current.0) as usize] = true;
+        let (cx, cy) = graph.coord(current);
+        for (v, &(x, y)) in graph.coords().iter().enumerate() {
+            let d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+            if d2 < nearest_d2[v] {
+                nearest_d2[v] = d2;
+            }
+        }
+        // Next: the first node of an uncovered component, else the covered
+        // node farthest (in coordinate space) from its nearest landmark.
+        let mut uncovered: Option<NodeId> = None;
+        let mut farthest: (f64, Option<NodeId>) = (0.0, None);
+        for v in 0..n {
+            if selected[v] {
+                continue;
+            }
+            if !covered[find(&mut parent, v as u32) as usize] {
+                if uncovered.is_none() {
+                    uncovered = Some(NodeId(v as u32));
+                }
+            } else if nearest_d2[v] > farthest.0 {
+                farthest = (nearest_d2[v], Some(NodeId(v as u32)));
+            }
+        }
+        match uncovered.or(farthest.1) {
+            Some(next) => current = next,
+            None => break, // nothing useful left to select
+        }
+    }
+    nodes
 }
 
 #[cfg(test)]
@@ -218,6 +295,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_bit_for_bit() {
+        let city = crate::citygen::CityConfig {
+            width: 9,
+            height: 7,
+            ..Default::default()
+        }
+        .generate(23);
+        let serial = Landmarks::build_serial(&city, 6);
+        // Uneven chunk splits, more threads than landmarks, and the auto path.
+        for threads in [2, 3, 5, 64] {
+            let par = Landmarks::build_with_threads(&city, 6, threads);
+            assert_eq!(par.nodes(), serial.nodes(), "{threads} threads");
+            for a in city.nodes() {
+                for b in city.nodes() {
+                    assert_eq!(
+                        par.lower_bound(a, b),
+                        serial.lower_bound(a, b),
+                        "{threads} threads {a}->{b}"
+                    );
+                }
+            }
+        }
+        let auto = Landmarks::build(&city, 6);
+        assert_eq!(auto.nodes(), serial.nodes());
+    }
+
+    #[test]
+    fn selection_spreads_landmarks() {
+        // On a long line seeded at node 0, the second landmark must land at
+        // the far end (farthest-point property).
+        let coords = (0..30).map(|i| (i as f64, 0.0)).collect();
+        let edges = (0..29)
+            .map(|i| Edge {
+                from: NodeId(i),
+                to: NodeId(i + 1),
+                travel: 5,
+            })
+            .collect();
+        let g = RoadGraph::from_undirected_edges(coords, edges);
+        let lm = Landmarks::build(&g, 2);
+        assert_eq!(lm.nodes(), &[NodeId(0), NodeId(29)]);
     }
 
     #[test]

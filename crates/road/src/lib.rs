@@ -19,6 +19,9 @@
 //!   cities where the dense table cannot exist,
 //! * [`CityOracle`] — the [`watter_core::OracleKind`]-selected oracle the
 //!   workloads, simulator and CLI plug in,
+//! * [`CachedOracle`] — a sharded, fixed-capacity, deterministic
+//!   memoization layer over any point-query oracle (hits are
+//!   allocation-free; cached runs are bit-identical to uncached ones),
 //! * [`DijkstraWorkspace`] — reusable search state making repeated
 //!   point queries allocation-free,
 //! * [`GridIndex`] — the `g × g` spatial index the paper uses both to speed
@@ -27,6 +30,7 @@
 //!   diagonal arterials).
 
 pub mod astar;
+pub mod cached;
 pub mod citygen;
 pub mod dijkstra;
 pub mod graph;
@@ -37,6 +41,7 @@ pub mod oracle;
 pub mod workspace;
 
 pub use astar::AltOracle;
+pub use cached::CachedOracle;
 pub use citygen::{CityConfig, CityTopology};
 pub use dijkstra::{shortest_path_cost, single_source};
 pub use graph::RoadGraph;

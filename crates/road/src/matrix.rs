@@ -15,7 +15,7 @@
 use crate::dijkstra::UNREACHABLE;
 use crate::graph::RoadGraph;
 use crate::workspace::DijkstraWorkspace;
-use watter_core::{Dur, NodeId, TravelCost};
+use watter_core::{Dur, NodeId, TravelBound, TravelCost};
 
 /// Dense all-pairs travel-time table implementing [`TravelCost`] in O(1).
 #[derive(Clone, Debug)]
@@ -140,6 +140,16 @@ impl TravelCost for CostMatrix {
         } else {
             d as Dur
         }
+    }
+}
+
+impl TravelBound for CostMatrix {
+    /// The tightest possible bound: the exact cost, still O(1). Bound-first
+    /// filters therefore behave exactly like their exact predecessors on
+    /// the dense backend.
+    #[inline]
+    fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+        self.cost(a, b)
     }
 }
 

@@ -12,7 +12,7 @@ use crate::astar::AltOracle;
 use crate::graph::RoadGraph;
 use crate::matrix::CostMatrix;
 use std::sync::Arc;
-use watter_core::{Dur, NodeId, OracleKind, TravelCost};
+use watter_core::{Dur, NodeId, OracleKind, TravelBound, TravelCost};
 
 /// A travel-cost oracle selected by [`OracleKind`].
 #[derive(Debug)]
@@ -62,6 +62,18 @@ impl TravelCost for CityOracle {
         match self {
             CityOracle::Dense(m) => m.cost(a, b),
             CityOracle::Alt(o) => o.cost(a, b),
+        }
+    }
+}
+
+impl TravelBound for CityOracle {
+    /// Dense: the exact cost (O(1)); ALT: the landmark lower bound
+    /// (`O(landmarks)`, no search).
+    #[inline]
+    fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+        match self {
+            CityOracle::Dense(m) => m.lower_bound(a, b),
+            CityOracle::Alt(o) => o.lower_bound(a, b),
         }
     }
 }

@@ -9,10 +9,9 @@
 use crate::env::build_env;
 use crate::fleet::Fleet;
 use watter_core::{
-    CostWeights, Group, Measurements, Order, OrderId, OrderOutcome, Route, Stop, TravelCost, Ts,
-    WorkerId,
+    CostWeights, Group, Measurements, Order, OrderId, OrderOutcome, TravelBound, Ts, WorkerId,
 };
-use watter_pool::{OrderPool, PoolConfig};
+use watter_pool::{OrderPool, PoolConfig, SpatialPrune};
 use watter_road::GridIndex;
 use watter_strategy::{DecisionContext, DecisionPolicy, NoopObserver, PoolObserver};
 
@@ -24,8 +23,11 @@ pub struct SimCtx<'a> {
     pub fleet: &'a mut Fleet,
     /// Metric accumulator.
     pub measurements: &'a mut Measurements,
-    /// Travel-time oracle.
-    pub oracle: &'a dyn TravelCost,
+    /// Travel-time oracle. Taking the [`TravelBound`] super-trait lets the
+    /// pooling layer consult admissible lower bounds before paying for
+    /// exact queries; backends without cheap bounds (the default `0`)
+    /// degrade gracefully to exact-only filtering.
+    pub oracle: &'a dyn TravelBound,
     /// Extra-time weights (α, β).
     pub weights: CostWeights,
 }
@@ -99,18 +101,16 @@ impl SimCtx<'_> {
 
     /// Build a singleton group (direct pick-up → drop-off route) for solo
     /// service, if still feasible at `now`.
+    ///
+    /// Uses [`Group::solo`], which reuses the order's cached
+    /// [`Order::direct_cost`] — the periodic "last call" sweep re-checks
+    /// solo feasibility for every pooled order each tick, and this keeps
+    /// those checks oracle-query-free.
     pub fn solo_group(&self, order: &Order) -> Option<Group> {
         if self.now + order.direct_cost >= order.deadline {
             return None;
         }
-        let route = Route::new(
-            vec![
-                Stop::pickup(order.pickup, order.id),
-                Stop::dropoff(order.dropoff, order.id),
-            ],
-            &self.oracle,
-        );
-        Some(Group::new(vec![order.clone()], route, &self.oracle))
+        Some(Group::solo(order.clone(), &self.oracle))
     }
 }
 
@@ -146,6 +146,11 @@ pub struct WatterConfig {
     pub cancellation: crate::cancel::CancellationModel,
     /// Seed for the deterministic cancellation draws.
     pub cancel_seed: u64,
+    /// Optional spatial candidate pruning for pool inserts: bucket pooled
+    /// orders by pick-up cell and scan only the slack-reachable ring
+    /// instead of the whole pool. Bit-identical outcomes either way; `None`
+    /// keeps the full scan.
+    pub spatial: Option<SpatialPrune>,
 }
 
 /// Algorithm 1: graph-based order pooling management, parameterized by the
@@ -172,7 +177,10 @@ impl<P: DecisionPolicy, O: PoolObserver> WatterDispatcher<P, O> {
     /// (offline experience generation, Section VI-B).
     pub fn with_observer(cfg: WatterConfig, policy: P, observer: O) -> Self {
         Self {
-            pool: OrderPool::new(cfg.pool),
+            pool: match cfg.spatial {
+                Some(spatial) => OrderPool::with_spatial(cfg.pool, spatial),
+                None => OrderPool::new(cfg.pool),
+            },
             policy,
             grid: cfg.grid,
             check_period: cfg.check_period,

@@ -9,7 +9,7 @@
 use crate::dispatcher::{Dispatcher, SimCtx};
 use crate::fleet::Fleet;
 use std::time::Instant;
-use watter_core::{CostWeights, Dur, Measurements, Order, TravelCost, Ts, Worker};
+use watter_core::{CostWeights, Dur, Measurements, Order, TravelBound, Ts, Worker};
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -42,7 +42,7 @@ pub fn run<D: Dispatcher>(
     mut orders: Vec<Order>,
     workers: Vec<Worker>,
     dispatcher: &mut D,
-    oracle: &dyn TravelCost,
+    oracle: &dyn TravelBound,
     cfg: SimConfig,
 ) -> Measurements {
     assert!(cfg.check_period > 0, "check period must be positive");
@@ -108,12 +108,15 @@ mod tests {
     use super::*;
     use watter_core::{NodeId, OrderId, OrderOutcome, WorkerId};
 
+    use watter_core::TravelCost;
+
     struct Line;
     impl TravelCost for Line {
         fn cost(&self, a: NodeId, b: NodeId) -> Dur {
             (a.0 as i64 - b.0 as i64).abs() * 10
         }
     }
+    impl TravelBound for Line {}
 
     /// Trivial dispatcher: serve every order solo immediately; reject when
     /// no worker.

@@ -16,10 +16,14 @@
 //! * [`env`] — demand/supply snapshot construction over the grid index.
 //!
 //! The engine is oracle-agnostic: [`engine::run`] takes any
-//! `&dyn TravelCost`, so a simulation runs unchanged on the dense
-//! all-pairs table or the landmark A* oracle (`watter_road::CityOracle`,
-//! selected by `watter_core::OracleKind` when a scenario is built) —
-//! including 10⁵-node cities where only the latter fits in memory.
+//! `&dyn TravelBound` (the `TravelCost` super-trait with admissible
+//! lower bounds, trivially satisfied via the default `0` bound), so a
+//! simulation runs unchanged on the dense all-pairs table or the landmark
+//! A* oracle (`watter_road::CityOracle`, selected by
+//! `watter_core::OracleKind` when a scenario is built) — including
+//! 10⁵-node cities where only the latter fits in memory. Wrap the oracle
+//! in `watter_road::CachedOracle` to memoize repeated point queries;
+//! results are bit-identical either way.
 
 pub mod cancel;
 pub mod dispatcher;

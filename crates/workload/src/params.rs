@@ -48,6 +48,13 @@ pub struct ScenarioParams {
     /// node count. Both backends return bit-identical costs, so this knob
     /// never changes the generated workload — only memory and latency.
     pub oracle: OracleKind,
+    /// Wrap the oracle in a sharded memoization layer
+    /// (`watter_road::CachedOracle`) for the simulation run. Cached answers
+    /// are the inner oracle's answers verbatim, so dispatch outcomes are
+    /// bit-identical either way; enable it whenever point queries are
+    /// expensive (the ALT oracle on large cities). The workload build
+    /// itself never uses the cache, so generated demand is unaffected.
+    pub cost_cache: bool,
     /// Master seed for the road network, demand and fleet.
     pub seed: u64,
 }
@@ -73,6 +80,7 @@ impl ScenarioParams {
             window_span: 1800,
             echo_prob: 0.55,
             oracle: OracleKind::Auto,
+            cost_cache: false,
             seed: 20_240_311, // arXiv submission date of the paper
         }
     }

@@ -5,13 +5,17 @@
 //! watter-cli run   [--profile nyc|cdc|xia] [--algo gdp|gas|nonshare|online|timeout|expect]
 //!                  [--orders N] [--workers M] [--tau F] [--kw K] [--eta F]
 //!                  [--city-side B] [--oracle auto|dense|alt] [--landmarks K]
-//!                  [--seed S] [--json PATH]
+//!                  [--cost-cache] [--seed S] [--json PATH]
 //! watter-cli train [--profile nyc|cdc|xia] [--out model.json] [--steps N]
 //! ```
 //!
 //! `--oracle` picks the travel-cost backend: the dense all-pairs table
 //! (`n² × 4` bytes, O(1) queries), landmark-guided A* (`alt`, exact point
 //! queries for 10⁵-node cities), or by node count (`auto`, the default).
+//!
+//! `--cost-cache` wraps the oracle in the sharded memoization layer for
+//! the simulation run — dispatch outcomes are bit-identical, only faster;
+//! worthwhile whenever the ALT backend is active.
 //!
 //! `--algo expect` trains a value function on a sibling "day" first (or
 //! loads one via `--model model.json`).
@@ -95,6 +99,7 @@ fn params_of(flags: &HashMap<String, String>) -> ScenarioParams {
             std::process::exit(2);
         }
     }
+    p.cost_cache = flags.get("cost-cache").map(|s| s.as_str()) == Some("true");
     p
 }
 
@@ -133,7 +138,11 @@ fn cmd_run(flags: HashMap<String, String>) {
     };
     let stats = run_algorithm(&scenario, algo);
     println!("profile       : {}", params.profile.tag());
-    println!("oracle        : {}", scenario.oracle.describe());
+    println!(
+        "oracle        : {}{}",
+        scenario.oracle.describe(),
+        if params.cost_cache { " +cache" } else { "" }
+    );
     println!("orders/workers: {}/{}", params.n_orders, params.n_workers);
     println!("algorithm     : {algo_name}");
     println!("extra time    : {:.0} s", stats.extra_time);

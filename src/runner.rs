@@ -6,9 +6,10 @@
 
 use std::sync::Arc;
 use watter_baselines::{GasConfig, GasDispatcher, GdpConfig, GdpDispatcher, NonSharingDispatcher};
-use watter_core::{CostWeights, Measurements, RunStats};
+use watter_core::{CostWeights, Measurements, RunStats, TravelBound};
 use watter_learn::ValueFunction;
-use watter_pool::{cliques::CliqueLimits, PlanLimits, PoolConfig};
+use watter_pool::{cliques::CliqueLimits, PlanLimits, PoolConfig, SpatialPrune};
+use watter_road::{CachedOracle, CityOracle};
 use watter_sim::{run, SimConfig, WatterConfig, WatterDispatcher};
 use watter_strategy::{OnlinePolicy, ThresholdPolicy, TimeoutPolicy};
 use watter_workload::Scenario;
@@ -70,6 +71,10 @@ pub fn pool_config(scenario: &Scenario) -> PoolConfig {
 }
 
 /// WATTER dispatcher configuration derived from scenario parameters.
+///
+/// Pool inserts always use spatial candidate pruning (bit-identical to the
+/// full scan, strictly less work — see `watter_pool::spatial`), bucketing
+/// pooled orders with the same grid the snapshots use.
 pub fn watter_config(scenario: &Scenario) -> WatterConfig {
     WatterConfig {
         pool: pool_config(scenario),
@@ -77,6 +82,50 @@ pub fn watter_config(scenario: &Scenario) -> WatterConfig {
         check_period: scenario.params.check_period,
         cancellation: watter_sim::CancellationModel::OFF,
         cancel_seed: scenario.params.seed,
+        spatial: Some(SpatialPrune::for_graph(
+            &scenario.graph,
+            scenario.grid.clone(),
+        )),
+    }
+}
+
+/// The travel-cost oracle a simulation run should query: the scenario's
+/// oracle, wrapped in a [`CachedOracle`] when
+/// [`ScenarioParams::cost_cache`](watter_workload::ScenarioParams) is set.
+/// Answers are bit-identical either way.
+pub fn sim_oracle(scenario: &Scenario) -> SimOracle {
+    if scenario.params.cost_cache {
+        SimOracle::Cached(CachedOracle::with_default_capacity(Arc::clone(
+            &scenario.oracle,
+        )))
+    } else {
+        SimOracle::Plain(Arc::clone(&scenario.oracle))
+    }
+}
+
+/// Owned oracle handle for one simulation run (see [`sim_oracle`]).
+pub enum SimOracle {
+    /// The scenario's oracle queried directly.
+    Plain(Arc<CityOracle>),
+    /// The scenario's oracle behind a sharded memoization layer.
+    Cached(CachedOracle<Arc<CityOracle>>),
+}
+
+impl SimOracle {
+    /// Borrow as the trait object the engine consumes.
+    pub fn as_dyn(&self) -> &dyn TravelBound {
+        match self {
+            SimOracle::Plain(o) => o.as_ref(),
+            SimOracle::Cached(c) => c,
+        }
+    }
+
+    /// Cache `(hits, misses)` counters, when the cache is active.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        match self {
+            SimOracle::Plain(_) => None,
+            SimOracle::Cached(c) => Some((c.hits(), c.misses())),
+        }
     }
 }
 
@@ -94,7 +143,8 @@ pub fn run_measured(scenario: &Scenario, algo: Algo) -> Measurements {
     let cfg = sim_config(scenario);
     let orders = scenario.orders.clone();
     let workers = scenario.workers.clone();
-    let oracle = scenario.oracle.as_ref();
+    let sim_oracle = sim_oracle(scenario);
+    let oracle = sim_oracle.as_dyn();
     match algo {
         Algo::Gdp => {
             let mut d = GdpDispatcher::new(GdpConfig::default(), &workers);

@@ -1,0 +1,238 @@
+//! Query-acceleration equivalence properties.
+//!
+//! PR 3's speed layers (memoized oracle, bound-guided pre-filter, spatial
+//! insert pruning) are *exact* accelerations: they must never change a
+//! single answer, admission or dispatch outcome — only latency. These
+//! properties pin that guarantee across all city profiles:
+//!
+//! 1. `CachedOracle` is bit-identical to its inner oracle under arbitrary
+//!    query sequences, at any capacity (constant eviction included);
+//! 2. the bound-guided `pair_prefilter` admits exactly the pairs the
+//!    exact-only filter admits (the landmark bound is admissible);
+//! 3. spatially pruned `ShareGraph` inserts produce the same edge sets as
+//!    the full scan under random order streams with removals;
+//! 4. end-to-end dispatch outcomes are identical across every
+//!    acceleration configuration.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use watter::prelude::*;
+use watter_core::{NodeId, Order, OrderId, TravelBound, Ts};
+use watter_pool::{pair_prefilter, PlanLimits, ShareGraph, SpatialPrune};
+use watter_road::{AltOracle, CachedOracle};
+
+fn profile(idx: usize) -> CityProfile {
+    CityProfile::ALL[idx % CityProfile::ALL.len()]
+}
+
+/// The pre-PR 3 shareability pre-filter: exact oracle queries only. The
+/// bound-guided filter must agree with this bit for bit.
+fn exact_prefilter<C: TravelCost>(a: &Order, b: &Order, now: Ts, oracle: &C) -> bool {
+    let a_solo = now + a.direct_cost < a.deadline;
+    let b_solo = now + b.direct_cost < b.deadline;
+    (a_solo && now + oracle.cost(a.pickup, b.pickup) + b.direct_cost < b.deadline)
+        || (b_solo && now + oracle.cost(b.pickup, a.pickup) + a.direct_cost < a.deadline)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Cached answers are the inner oracle's answers verbatim for any
+    /// query sequence and any capacity, and bounds pass through untouched.
+    #[test]
+    fn cached_oracle_is_bit_identical(
+        pidx in 0usize..3,
+        side in 5usize..10,
+        seed in 0u64..300,
+        capacity in 1usize..512,
+        queries in prop::collection::vec((0u32..10_000, 0u32..10_000), 1..200),
+    ) {
+        let graph = Arc::new(profile(pidx).city_config(side).generate(seed));
+        let dense = CostMatrix::build(&graph);
+        let alt = AltOracle::build(Arc::clone(&graph), 4);
+        let cached = CachedOracle::new(&alt, capacity);
+        let n = graph.node_count() as u32;
+        for (a, b) in queries {
+            let (a, b) = (NodeId(a % n), NodeId(b % n));
+            prop_assert_eq!(cached.cost(a, b), dense.cost(a, b), "cost {} -> {}", a, b);
+            prop_assert_eq!(
+                cached.lower_bound(a, b),
+                alt.lower_bound(a, b),
+                "bound {} -> {}", a, b
+            );
+        }
+    }
+
+    /// The bound-guided pre-filter never drops a pair the exact filter
+    /// admits (admissibility) nor admits one it rejects — on the ALT
+    /// oracle (real landmark bounds) and the dense table (bound == cost).
+    #[test]
+    fn bound_guided_prefilter_matches_exact_filter(
+        pidx in 0usize..3,
+        side in 5usize..10,
+        seed in 0u64..300,
+        landmarks in 1usize..6,
+        specs in prop::collection::vec((0u32..10_000, 0u32..10_000, 1i64..4, 0i64..60), 2..16),
+        now in 0i64..40,
+    ) {
+        let graph = Arc::new(profile(pidx).city_config(side).generate(seed));
+        let dense = CostMatrix::build(&graph);
+        let alt = AltOracle::build(Arc::clone(&graph), landmarks);
+        let n = graph.node_count() as u32;
+        let orders: Vec<Order> = specs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(p, d, scale, jitter))| {
+                let p = NodeId(p % n);
+                let d = NodeId(d % n);
+                let direct = dense.cost(p, d);
+                if p == d || direct >= watter_road::dijkstra::UNREACHABLE {
+                    return None; // degenerate or disconnected trip
+                }
+                Some(Order {
+                    id: OrderId(i as u32),
+                    pickup: p,
+                    dropoff: d,
+                    riders: 1,
+                    release: 0,
+                    deadline: scale * direct + jitter,
+                    wait_limit: direct,
+                    direct_cost: direct,
+                })
+            })
+            .collect();
+        for (i, a) in orders.iter().enumerate() {
+            for b in &orders[i + 1..] {
+                let want = exact_prefilter(a, b, now, &dense);
+                prop_assert_eq!(
+                    pair_prefilter(a, b, now, &alt), want,
+                    "ALT-bounded filter diverges for ({}, {})", a.id, b.id
+                );
+                prop_assert_eq!(
+                    pair_prefilter(a, b, now, &dense), want,
+                    "dense-bounded filter diverges for ({}, {})", a.id, b.id
+                );
+            }
+        }
+    }
+
+    /// Spatially pruned inserts build the same shareability graph as the
+    /// full scan under random arrival/removal streams.
+    #[test]
+    fn spatial_insert_equals_full_scan(
+        pidx in 0usize..3,
+        side in 6usize..11,
+        seed in 0u64..300,
+        grid_dim in 2usize..8,
+        specs in prop::collection::vec((0u32..10_000, 0u32..10_000, 1i64..4, 0i64..40, 0u8..8), 4..40),
+    ) {
+        let graph = Arc::new(profile(pidx).city_config(side).generate(seed));
+        let oracle = CostMatrix::build(&graph);
+        let spatial = SpatialPrune::for_graph(&graph, GridIndex::build(&graph, grid_dim));
+        let limits = PlanLimits { capacity: 4 };
+        let mut full = ShareGraph::new();
+        let mut pruned = ShareGraph::with_spatial(spatial);
+        let n = graph.node_count() as u32;
+        let mut now = 0;
+        for (i, &(p, d, scale, jitter, action)) in specs.iter().enumerate() {
+            let p = NodeId(p % n);
+            let d = NodeId(d % n);
+            let direct = oracle.cost(p, d);
+            if p == d || direct >= watter_road::dijkstra::UNREACHABLE {
+                continue;
+            }
+            now += 5;
+            let o = Order {
+                id: OrderId(i as u32),
+                pickup: p,
+                dropoff: d,
+                riders: 1,
+                release: now,
+                deadline: now + scale * direct + jitter,
+                wait_limit: direct,
+                direct_cost: direct,
+            };
+            let a = full.insert(o.clone(), now, limits, &oracle);
+            let b = pruned.insert(o, now, limits, &oracle);
+            prop_assert_eq!(a, b, "insert {}: neighbour sets diverge", i);
+            if action == 0 && i > 0 {
+                let victim = OrderId((i / 2) as u32);
+                prop_assert_eq!(full.remove(victim), pruned.remove(victim));
+            }
+        }
+        prop_assert_eq!(full.edge_count(), pruned.edge_count());
+        for id in full.order_ids() {
+            let fe: Vec<_> = full.neighbors(id).collect();
+            let pe: Vec<_> = pruned.neighbors(id).collect();
+            prop_assert_eq!(fe, pe, "adjacency of {} diverges", id);
+        }
+    }
+}
+
+/// End-to-end: every acceleration configuration (full scan / spatial /
+/// spatial + cached oracle) produces the same dispatch outcomes on the
+/// same scenario — the layers change latency, never results.
+#[test]
+fn acceleration_layers_do_not_change_dispatch_outcomes() {
+    use watter::runner::{sim_config, watter_config};
+    use watter_sim::run;
+    use watter_strategy::OnlinePolicy;
+
+    for (profile, seed) in [
+        (CityProfile::Chengdu, 11u64),
+        (CityProfile::Nyc, 23),
+        (CityProfile::Xian, 37),
+    ] {
+        let mut params = ScenarioParams::default_for(profile);
+        params.n_orders = 150;
+        params.n_workers = 15;
+        params.city_side = 12;
+        params.seed = seed;
+        let scenario = Scenario::build(params);
+
+        let mut outcomes = Vec::new();
+        for (tag, spatial, cache) in [
+            ("full-scan", false, false),
+            ("spatial", true, false),
+            ("spatial+cache", true, true),
+        ] {
+            let cached =
+                cache.then(|| CachedOracle::with_default_capacity(Arc::clone(&scenario.oracle)));
+            let oracle: &dyn TravelBound = match &cached {
+                Some(c) => c,
+                None => scenario.oracle.as_ref(),
+            };
+            let mut wcfg = watter_config(&scenario);
+            if !spatial {
+                wcfg.spatial = None;
+            }
+            let mut d = WatterDispatcher::new(wcfg, OnlinePolicy);
+            let m = run(
+                scenario.orders.clone(),
+                scenario.workers.clone(),
+                &mut d,
+                oracle,
+                sim_config(&scenario),
+            );
+            if let Some(c) = &cached {
+                assert!(c.hits() > 0, "cache never hit — the layer is inert");
+            }
+            outcomes.push((
+                tag,
+                m.served_orders,
+                m.rejected_orders,
+                m.extra_time().to_bits(),
+                m.unified_cost().to_bits(),
+                m.mean_group_size().to_bits(),
+            ));
+        }
+        let (_, s0, r0, e0, u0, g0) = outcomes[0];
+        for &(tag, s, r, e, u, g) in &outcomes[1..] {
+            assert_eq!(
+                (s, r, e, u, g),
+                (s0, r0, e0, u0, g0),
+                "{profile:?}: config `{tag}` changed dispatch outcomes"
+            );
+        }
+    }
+}

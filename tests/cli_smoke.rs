@@ -84,6 +84,46 @@ fn run_subcommand_is_deterministic_across_processes() {
 }
 
 #[test]
+fn cost_cache_flag_does_not_change_outcomes() {
+    // `--cost-cache` wraps the oracle in the memoization layer; dispatch
+    // outcomes must be bit-identical to the uncached run (only the
+    // wall-clock "running time" row may differ).
+    let run = |cache: bool| {
+        let mut args = vec![
+            "run",
+            "--orders",
+            "60",
+            "--workers",
+            "10",
+            "--algo",
+            "online",
+            "--seed",
+            "19",
+        ];
+        if cache {
+            args.push("--cost-cache");
+        }
+        let out = cli().args(&args).output().expect("spawn watter-cli");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert_eq!(
+            text.contains("+cache"),
+            cache,
+            "oracle line must reflect the cache flag:\n{text}"
+        );
+        text.lines()
+            .filter(|l| !l.starts_with("running time") && !l.starts_with("oracle"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "--cost-cache changed dispatch outcomes"
+    );
+}
+
+#[test]
 fn train_subcommand_saves_loadable_model() {
     let model = temp_path("model_smoke.json");
     let out = cli()

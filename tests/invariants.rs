@@ -14,6 +14,7 @@ impl TravelCost for Line {
         (a.0 as i64 - b.0 as i64).abs() * 10
     }
 }
+impl watter_core::TravelBound for Line {}
 
 fn arb_order(id: u32) -> impl Strategy<Value = Order> {
     (0u32..40, 0u32..40, 0i64..100, 13i64..60, 1u32..3).prop_map(
