@@ -222,6 +222,7 @@ mod tests {
                 measurements: &mut m,
                 oracle: &Line,
                 weights: CostWeights::default(),
+                exec: &watter_core::Exec::sequential(),
             };
             d.on_arrival(order(0, 0, 10, 0), &mut ctx);
             d.on_arrival(order(1, 2, 8, 0), &mut ctx);
@@ -233,6 +234,7 @@ mod tests {
                 measurements: &mut m,
                 oracle: &Line,
                 weights: CostWeights::default(),
+                exec: &watter_core::Exec::sequential(),
             };
             d.on_check(&mut ctx);
         }
@@ -257,6 +259,7 @@ mod tests {
                 measurements: &mut m,
                 oracle: &Line,
                 weights: CostWeights::default(),
+                exec: &watter_core::Exec::sequential(),
             };
             d.on_arrival(order(0, 0, 10, 0), &mut ctx);
         }
@@ -267,6 +270,7 @@ mod tests {
             measurements: &mut m,
             oracle: &Line,
             weights: CostWeights::default(),
+            exec: &watter_core::Exec::sequential(),
         };
         d.on_check(&mut ctx);
         assert_eq!(m.rejected_orders, 1);

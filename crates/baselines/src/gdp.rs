@@ -143,6 +143,7 @@ mod tests {
             measurements: &mut m,
             oracle: &Line,
             weights: CostWeights::default(),
+            exec: &watter_core::Exec::sequential(),
         };
         d.on_arrival(order(0, 2, 7, 0, 3.0), &mut ctx);
         assert_eq!(m.served_orders, 1);
@@ -158,6 +159,7 @@ mod tests {
             measurements: &mut m,
             oracle: &Line,
             weights: CostWeights::default(),
+            exec: &watter_core::Exec::sequential(),
         };
         // worker 1000 s away; deadline only allows 1.2× direct (120 s)
         d.on_arrival(order(0, 2, 7, 0, 1.2), &mut ctx);
@@ -174,6 +176,7 @@ mod tests {
                 measurements: &mut m,
                 oracle: &Line,
                 weights: CostWeights::default(),
+                exec: &watter_core::Exec::sequential(),
             };
             d.on_arrival(order(0, 0, 10, 0, 3.0), &mut ctx);
             d.on_arrival(order(1, 4, 6, 0, 5.0), &mut ctx);

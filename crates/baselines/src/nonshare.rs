@@ -96,6 +96,7 @@ mod tests {
                 measurements: &mut m,
                 oracle: &Line,
                 weights: CostWeights::default(),
+                exec: &watter_core::Exec::sequential(),
             };
             d.on_arrival(order(0, 0, 5, 0), &mut ctx);
             d.on_arrival(order(1, 5, 9, 0), &mut ctx);
@@ -109,6 +110,7 @@ mod tests {
             measurements: &mut m,
             oracle: &Line,
             weights: CostWeights::default(),
+            exec: &watter_core::Exec::sequential(),
         };
         d.on_check(&mut ctx);
         assert_eq!(m.served_orders, 2);
@@ -131,6 +133,7 @@ mod tests {
                 measurements: &mut m,
                 oracle: &Line,
                 weights: CostWeights::default(),
+                exec: &watter_core::Exec::sequential(),
             };
             d.on_arrival(order(0, 0, 5, 0), &mut ctx);
         }
@@ -140,6 +143,7 @@ mod tests {
             measurements: &mut m,
             oracle: &Line,
             weights: CostWeights::default(),
+            exec: &watter_core::Exec::sequential(),
         };
         d.on_check(&mut ctx);
         assert_eq!(m.rejected_orders, 1);

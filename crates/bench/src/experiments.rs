@@ -443,7 +443,13 @@ pub struct PoolScaleRow {
     /// scanning every pooled order, uncached oracle), `spatial`
     /// (grid-pruned insert), `spatial+cache` (grid-pruned insert +
     /// memoized oracle). All three use the bound-guided pre-filter.
+    /// `spatial+cache tN` adds the sharded parallel dispatch engine on
+    /// `N` threads.
     pub config: String,
+    /// Dispatch-engine worker threads (1 = sequential engine).
+    pub threads: usize,
+    /// Order-pool shards (1 = unsharded).
+    pub shards: usize,
     /// Orders simulated.
     pub orders: usize,
     /// Orders served / rejected — must be identical across configurations
@@ -478,15 +484,22 @@ pub fn pool_scale_study(city_side: usize) -> Vec<PoolScaleRow> {
 
     let mut params = ScenarioParams::large_city();
     params.city_side = city_side;
-    let scenario = Scenario::build(params);
+    let mut scenario = Scenario::build(params);
     let nodes = scenario.graph.node_count();
 
+    // The threads-vs-throughput column: the best single-threaded
+    // configuration rerun on the parallel sharded engine. Outcomes must
+    // stay bit-identical; only wall-clock may move (and only moves on a
+    // multi-core host).
     let mut rows: Vec<PoolScaleRow> = Vec::new();
-    for (config, spatial, cache) in [
-        ("full-scan", false, false),
-        ("spatial", true, false),
-        ("spatial+cache", true, true),
+    for (config, spatial, cache, threads, shards) in [
+        ("full-scan", false, false, 1, 1),
+        ("spatial", true, false, 1, 1),
+        ("spatial+cache", true, true, 1, 1),
+        ("spatial+cache t2", true, true, 2, 2),
+        ("spatial+cache t4", true, true, 4, 4),
     ] {
+        scenario.params.parallelism = watter_core::DispatchParallelism { threads, shards };
         let cached =
             cache.then(|| CachedOracle::with_default_capacity(Arc::clone(&scenario.oracle)));
         let oracle: &dyn TravelBound = match &cached {
@@ -512,6 +525,8 @@ pub fn pool_scale_study(city_side: usize) -> Vec<PoolScaleRow> {
             city_side,
             nodes,
             config: config.to_string(),
+            threads,
+            shards,
             orders: scenario.orders.len(),
             served: m.served_orders,
             rejected: m.rejected_orders,
@@ -632,6 +647,7 @@ pub mod example1 {
             check_period: 10,
             weights: CostWeights::default(),
             drain_horizon: 3600,
+            parallelism: watter_core::DispatchParallelism::SEQUENTIAL,
         };
         let wcfg = WatterConfig {
             pool: PoolConfig {
@@ -644,6 +660,7 @@ pub mod example1 {
             cancellation: watter_sim::CancellationModel::OFF,
             cancel_seed: 0,
             spatial: None,
+            parallelism: watter_core::DispatchParallelism::SEQUENTIAL,
         };
         let m = match which {
             "nonshare" => {

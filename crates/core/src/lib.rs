@@ -32,6 +32,7 @@ pub mod metrics;
 pub mod objective;
 pub mod oracle;
 pub mod order;
+pub mod parallel;
 pub mod route;
 pub mod time;
 pub mod worker;
@@ -45,6 +46,7 @@ pub use metrics::{Measurements, OrderOutcome, RunStats};
 pub use objective::{extra_time, CostWeights};
 pub use oracle::{OracleKind, DEFAULT_LANDMARKS, DENSE_NODE_LIMIT};
 pub use order::Order;
+pub use parallel::{DispatchParallelism, Exec};
 pub use route::{Route, Stop, StopKind};
 pub use time::{Dur, Ts};
 pub use worker::Worker;
@@ -56,7 +58,12 @@ pub use worker::Worker;
 /// this trait so that the pooling and dispatch logic is independent of how
 /// the road substrate answers the query (exact all-pairs table, on-demand
 /// Dijkstra, ...).
-pub trait TravelCost {
+///
+/// `Send + Sync` is a supertrait so that `&dyn TravelBound` can be shared
+/// across the scoped worker threads of the parallel dispatch engine (see
+/// [`Exec`]); every backend in this workspace is an immutable table or an
+/// internally synchronized cache, so the bound costs implementors nothing.
+pub trait TravelCost: Send + Sync {
     /// Shortest travel time in seconds from `a` to `b`.
     fn cost(&self, a: NodeId, b: NodeId) -> Dur;
 

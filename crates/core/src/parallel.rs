@@ -1,0 +1,207 @@
+//! Deterministic fork-join execution for the sharded dispatch engine.
+//!
+//! The engine's determinism contract is *bit-identical [`Measurements`]
+//! for any thread or shard count, given the same scenario seed*. The only
+//! way to keep that promise cheaply is to parallelize **pure computation**
+//! (pair-edge validation, clique enumeration, best-group recomputation,
+//! nearest-worker scans) and keep every state *commit* sequential in a
+//! canonical order. [`Exec`] is the one fork-join primitive the workspace
+//! uses for this: an order-preserving chunked `map` over
+//! [`std::thread::scope`], with a strictly sequential fast path when one
+//! thread is configured (or the input is too small to be worth forking).
+//!
+//! Chunks are contiguous index ranges and results are concatenated in
+//! chunk order, so `exec.map(items, f)` returns exactly
+//! `items.iter().map(f).collect()` — the thread count can never reorder,
+//! drop or duplicate results. This is the same discipline kern's
+//! `find_pool` uses for chunked branch expansion, without the `static mut`
+//! slice juggling.
+//!
+//! [`Measurements`]: crate::Measurements
+
+use serde::{Deserialize, Serialize};
+
+/// Degree of parallelism of one dispatch engine instance.
+///
+/// The default (`threads = 1`, `shards = 1`) is the fully sequential
+/// engine — existing callers and all historical results are unaffected
+/// unless they opt in. `threads = 0` resolves to the host's available
+/// parallelism at [`Exec`] construction time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchParallelism {
+    /// Worker threads for pool insertion / clique search / recompute
+    /// batches. `0` = use every available core.
+    pub threads: usize,
+    /// Grid-region shards the order pool is partitioned into (row bands of
+    /// the grid index). Shards bound the granularity of per-shard proposal
+    /// sweeps; outcomes are identical for every shard count.
+    pub shards: usize,
+}
+
+impl Default for DispatchParallelism {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            shards: 1,
+        }
+    }
+}
+
+impl DispatchParallelism {
+    /// Fully sequential engine (the default).
+    pub const SEQUENTIAL: Self = Self {
+        threads: 1,
+        shards: 1,
+    };
+
+    /// [`DispatchParallelism::SEQUENTIAL`] as a function (serde default).
+    pub fn sequential() -> Self {
+        Self::SEQUENTIAL
+    }
+
+    /// The effective thread count (`0` resolved against the host).
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+/// Below this many items a parallel map falls back to the sequential path:
+/// forking threads costs more than the work itself.
+const MIN_PARALLEL_ITEMS: usize = 2;
+
+/// Order-preserving fork-join executor (see module docs).
+#[derive(Clone, Debug)]
+pub struct Exec {
+    threads: usize,
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl Exec {
+    /// Executor over `threads` scoped threads (`0` = available cores).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: DispatchParallelism { threads, shards: 1 }
+                .resolved_threads()
+                .max(1),
+        }
+    }
+
+    /// The strictly sequential executor.
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Executor configured by a [`DispatchParallelism`].
+    pub fn from_parallelism(p: DispatchParallelism) -> Self {
+        Self::new(p.threads)
+    }
+
+    /// Configured worker-thread count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether more than one thread is configured.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Map `f` over `items`, returning results in input order.
+    ///
+    /// Sequential when one thread is configured or the input is tiny;
+    /// otherwise the index range is split into at most `threads` contiguous
+    /// chunks, one scoped thread each, and per-chunk results are
+    /// concatenated in chunk order. Identical to the sequential map for
+    /// every thread count.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Map `f` over the index range `0..n`, returning results in index
+    /// order. The primitive [`Exec::map`] and the shard/clique chunking in
+    /// `watter-pool` are built on.
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n < MIN_PARALLEL_ITEMS {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(self.threads);
+        let mut out: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let f = &f;
+                handles.push(scope.spawn(move || (start..end).map(f).collect::<Vec<R>>()));
+                start = end;
+            }
+            out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential() {
+        let p = DispatchParallelism::default();
+        assert_eq!(p, DispatchParallelism::SEQUENTIAL);
+        assert_eq!(p.resolved_threads(), 1);
+        assert!(!Exec::from_parallelism(p).is_parallel());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_host_cores() {
+        let p = DispatchParallelism {
+            threads: 0,
+            shards: 1,
+        };
+        assert!(p.resolved_threads() >= 1);
+        assert!(Exec::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let exec = Exec::new(threads);
+            assert_eq!(exec.map(&items, |x| x * x + 1), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let exec = Exec::new(4);
+        assert_eq!(exec.map(&[] as &[u32], |x| *x), Vec::<u32>::new());
+        assert_eq!(exec.map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_indexed_covers_uneven_chunks() {
+        // n not divisible by threads: last chunk is short, nothing dropped.
+        let exec = Exec::new(4);
+        let got = exec.map_indexed(10, |i| i * 2);
+        assert_eq!(got, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

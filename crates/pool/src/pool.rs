@@ -18,11 +18,13 @@
 //! extra time grows at exactly `β` s/s and comparisons are time-invariant.
 //! This is what makes caching `Gb` sound.
 
-use crate::cliques::{all_groups_for, best_group_for, CliqueLimits};
+use crate::cliques::{all_groups_for_par, best_group_for, best_group_for_par, CliqueLimits};
 use crate::planner::PlanLimits;
-use crate::share_graph::ShareGraph;
+use crate::shard::ShardMap;
+use crate::share_graph::{PairEdge, ShareGraph};
 use std::collections::{BTreeMap, BTreeSet};
-use watter_core::{CostWeights, Group, Order, OrderId, TravelBound, Ts};
+use std::sync::Arc;
+use watter_core::{CostWeights, Exec, Group, Order, OrderId, TravelBound, Ts};
 
 /// Pool configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -48,7 +50,25 @@ pub struct PoolStats {
     pub groups_enumerated: u64,
 }
 
+/// Per-shard membership bookkeeping (see [`ShardMap`]): each pooled order
+/// belongs to exactly one slot — the row band of its pick-up cell — which
+/// is the deterministic *owner* of its best group and proposals.
+#[derive(Clone, Debug)]
+struct ShardState {
+    map: ShardMap,
+    /// Pooled order ids per shard; `BTreeSet` keeps within-shard sweeps
+    /// id-ordered so per-shard output is canonical before the merge.
+    members: Vec<BTreeSet<OrderId>>,
+}
+
 /// The WATTER order pool.
+///
+/// By default fully sequential. [`OrderPool::with_parallelism`] turns on
+/// the sharded parallel engine: pair-edge validation, clique search and
+/// best-group recomputation fan out over an [`Exec`] thread pool, while
+/// every state commit stays sequential in canonical `(shard, OrderId)` /
+/// ascending-id order — so pool state is bit-identical for every thread
+/// and shard count (`tests/parallel.rs` proves it end to end).
 #[derive(Clone, Debug, Default)]
 pub struct OrderPool {
     cfg: PoolConfig,
@@ -57,6 +77,8 @@ pub struct OrderPool {
     /// Reverse index: order → pooled orders whose best group contains it.
     contained_in: BTreeMap<OrderId, BTreeSet<OrderId>>,
     stats: PoolStats,
+    exec: Exec,
+    shards: Option<ShardState>,
 }
 
 impl OrderPool {
@@ -77,6 +99,31 @@ impl OrderPool {
         Self {
             cfg,
             graph: ShareGraph::with_spatial(spatial),
+            ..Self::default()
+        }
+    }
+
+    /// Empty pool with the full engine configuration: optional spatial
+    /// insert pruning, optional grid-region sharding and a fork-join
+    /// executor. `shards = None` / a sequential `exec` degrade exactly to
+    /// [`OrderPool::with_spatial`] / [`OrderPool::new`].
+    pub fn with_parallelism(
+        cfg: PoolConfig,
+        spatial: Option<crate::spatial::SpatialPrune>,
+        shards: Option<ShardMap>,
+        exec: Exec,
+    ) -> Self {
+        Self {
+            cfg,
+            graph: match spatial {
+                Some(sp) => ShareGraph::with_spatial(sp),
+                None => ShareGraph::new(),
+            },
+            exec,
+            shards: shards.map(|map| ShardState {
+                members: vec![BTreeSet::new(); map.shards()],
+                map,
+            }),
             ..Self::default()
         }
     }
@@ -123,29 +170,101 @@ impl OrderPool {
     }
 
     /// Insert an arriving order (update event 1) and maintain `Gb`.
+    ///
+    /// With a parallel [`Exec`], the two expensive pure stages fan out
+    /// over threads — pair-edge validation (chunked by the candidate's
+    /// owner shard, merged back in canonical `(shard, id)` order and
+    /// re-sorted to the ascending-id commit order) and the arriving
+    /// order's clique enumeration (chunked by top-level branch). All graph
+    /// and best-map mutation stays sequential, so the result is
+    /// bit-identical to the sequential insert.
     pub fn insert<C: TravelBound>(&mut self, order: Order, now: Ts, oracle: &C) {
         self.stats.inserted += 1;
         let id = order.id;
-        self.graph.insert(order, now, self.cfg.limits, oracle);
-        let center = self
-            .graph
-            .order_handle(id)
-            .expect("order just inserted")
-            .clone();
+        let center = Arc::new(order);
+        let candidates = self.graph.candidate_partners(&center, now);
+        let edges = self.eval_edges(&center, &candidates, now, oracle);
+        self.graph.commit(Arc::clone(&center), edges);
+        if let Some(st) = &mut self.shards {
+            let home = st.map.shard_of(center.pickup);
+            st.members[home].insert(id);
+        }
         // Enumerate the arriving order's groups once; offer each to every
         // member (the arriving order may improve neighbours' bests too).
-        let groups = all_groups_for(
+        let groups = all_groups_for_par(
             &center,
             &self.graph,
             now,
             self.cfg.limits,
             self.cfg.clique,
             oracle,
+            &self.exec,
         );
         self.stats.groups_enumerated += groups.len() as u64;
         for g in groups {
             self.offer_group(g, now, oracle);
         }
+    }
+
+    /// Pure stage of an insert: validate every candidate pair, returning
+    /// edges ascending by candidate id. Parallel path: candidates are
+    /// chunked by owner shard (contiguous index chunks when unsharded),
+    /// evaluated concurrently, merged in `(shard, id)` order and sorted
+    /// back to ascending id — the same set the sequential scan produces,
+    /// because [`ShareGraph::eval_edge`] never reads mutable state.
+    fn eval_edges<C: TravelBound>(
+        &self,
+        center: &Arc<Order>,
+        candidates: &[OrderId],
+        now: Ts,
+        oracle: &C,
+    ) -> Vec<(OrderId, PairEdge)> {
+        let graph = &self.graph;
+        let limits = self.cfg.limits;
+        if !self.exec.is_parallel() {
+            return candidates
+                .iter()
+                .filter_map(|&j| {
+                    graph
+                        .eval_edge(center, j, now, limits, oracle)
+                        .map(|e| (j, e))
+                })
+                .collect();
+        }
+        let chunks: Vec<Vec<OrderId>> = match &self.shards {
+            Some(st) => {
+                // Group candidates by their owner shard; within a shard the
+                // ids stay ascending because `candidates` is ascending.
+                let mut by_shard: Vec<Vec<OrderId>> = vec![Vec::new(); st.map.shards()];
+                for &j in candidates {
+                    if let Some(o) = graph.order(j) {
+                        by_shard[st.map.shard_of(o.pickup)].push(j);
+                    }
+                }
+                by_shard
+            }
+            None => candidates
+                .chunks(candidates.len().div_ceil(self.exec.threads()).max(1))
+                .map(|c| c.to_vec())
+                .collect(),
+        };
+        let mut edges: Vec<(OrderId, PairEdge)> = self
+            .exec
+            .map(&chunks, |chunk| {
+                chunk
+                    .iter()
+                    .filter_map(|&j| {
+                        graph
+                            .eval_edge(center, j, now, limits, oracle)
+                            .map(|e| (j, e))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        edges.sort_unstable_by_key(|&(j, _)| j);
+        edges
     }
 
     /// Remove orders that were dispatched together or rejected (update
@@ -154,6 +273,12 @@ impl OrderPool {
         let mut affected: BTreeSet<OrderId> = BTreeSet::new();
         for &id in ids {
             self.stats.removed += 1;
+            if let Some(st) = &mut self.shards {
+                if let Some(o) = self.graph.order(id) {
+                    let home = st.map.shard_of(o.pickup);
+                    st.members[home].remove(&id);
+                }
+            }
             self.graph.remove(id);
             self.best.remove(&id);
             if let Some(holders) = self.contained_in.remove(&id) {
@@ -166,11 +291,11 @@ impl OrderPool {
                 holders.remove(id);
             }
         }
-        for id in affected {
-            if self.graph.order(id).is_some() && !ids.contains(&id) {
-                self.recompute(id, now, oracle);
-            }
-        }
+        let recompute: Vec<OrderId> = affected
+            .into_iter()
+            .filter(|&id| self.graph.order(id).is_some() && !ids.contains(&id))
+            .collect();
+        self.recompute_batch(&recompute, now, oracle);
     }
 
     /// Periodic maintenance (Algorithm 1 lines 5–6): expire edges and
@@ -178,11 +303,15 @@ impl OrderPool {
     /// no longer be served even solo and must be rejected by the caller.
     pub fn maintain<C: TravelBound>(&mut self, now: Ts, oracle: &C) -> Vec<OrderId> {
         let touched = self.graph.expire_edges(now);
-        for id in touched {
-            if self.best_is_stale(id, now) {
-                self.recompute(id, now, oracle);
-            }
-        }
+        // Staleness only reads the graph and each order's own best entry,
+        // and recomputes only write their own entry — so collecting the
+        // stale set up front and batch-recomputing is the sequential
+        // interleaving's fixed point.
+        let stale: Vec<OrderId> = touched
+            .into_iter()
+            .filter(|&id| self.best_is_stale(id, now))
+            .collect();
+        self.recompute_batch(&stale, now, oracle);
         // Group expiry: τ_g passed even though individual edges may remain.
         let stale: Vec<OrderId> = self
             .best
@@ -190,10 +319,92 @@ impl OrderPool {
             .filter(|(_, g)| g.expires_at(oracle) < now)
             .map(|(&id, _)| id)
             .collect();
-        for id in stale {
-            self.recompute(id, now, oracle);
-        }
+        self.recompute_batch(&stale, now, oracle);
         self.graph.dead_orders(now)
+    }
+
+    /// Canonical dispatch-proposal sweep: every pooled order keyed by
+    /// `(release, id)`, ascending — the order the decision loop visits
+    /// them in (FIFO by release, id-tie-broken).
+    ///
+    /// Sharded pools sweep each shard's member slot independently (in
+    /// parallel when the executor allows) and merge the per-shard runs;
+    /// because an order's shard is a pure function of its pick-up cell,
+    /// the merged sequence is identical for every shard and thread count —
+    /// and identical to the unsharded sweep of the global order map.
+    pub fn proposals(&self) -> Vec<(Ts, OrderId)> {
+        let mut all: Vec<(Ts, OrderId)> = match &self.shards {
+            Some(st) => {
+                let graph = &self.graph;
+                self.exec
+                    .map(&st.members, |slot| {
+                        slot.iter()
+                            .filter_map(|&id| graph.order(id).map(|o| (o.release, o.id)))
+                            .collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
+            None => self.graph.orders().map(|o| (o.release, o.id)).collect(),
+        };
+        all.sort_unstable();
+        all
+    }
+
+    /// Recompute the best groups of `ids` (ascending, distinct): the pure
+    /// searches run concurrently — across orders when the batch is large
+    /// enough to feed every thread, inside each order's clique search
+    /// otherwise — and results are applied sequentially in ascending id
+    /// order. `best_group_for` reads only the (immutable during the batch)
+    /// graph, never the best map, so batch results equal one-at-a-time
+    /// sequential recomputation exactly.
+    fn recompute_batch<C: TravelBound>(&mut self, ids: &[OrderId], now: Ts, oracle: &C) {
+        if ids.is_empty() {
+            return;
+        }
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        self.stats.recomputes += ids.len() as u64;
+        let graph = &self.graph;
+        let cfg = &self.cfg;
+        let results: Vec<Option<Group>> = if ids.len() >= self.exec.threads() {
+            self.exec.map(ids, |&id| {
+                graph.order_handle(id).and_then(|center| {
+                    best_group_for(
+                        center,
+                        graph,
+                        now,
+                        cfg.limits,
+                        cfg.clique,
+                        cfg.weights,
+                        oracle,
+                    )
+                })
+            })
+        } else {
+            ids.iter()
+                .map(|&id| {
+                    graph.order_handle(id).and_then(|center| {
+                        best_group_for_par(
+                            center,
+                            graph,
+                            now,
+                            cfg.limits,
+                            cfg.clique,
+                            cfg.weights,
+                            oracle,
+                            &self.exec,
+                        )
+                    })
+                })
+                .collect()
+        };
+        for (&id, found) in ids.iter().zip(results) {
+            self.unlink_best(id);
+            if let Some(g) = found {
+                self.link_best(id, g);
+            }
+        }
     }
 
     /// Whether `id`'s cached best group lost a member or an edge.
@@ -216,26 +427,6 @@ impl OrderPool {
                 let _ = now;
                 false
             }
-        }
-    }
-
-    /// Recompute an order's best group from scratch.
-    fn recompute<C: TravelBound>(&mut self, id: OrderId, now: Ts, oracle: &C) {
-        self.stats.recomputes += 1;
-        self.unlink_best(id);
-        let Some(center) = self.graph.order_handle(id).cloned() else {
-            return;
-        };
-        if let Some(best) = best_group_for(
-            &center,
-            &self.graph,
-            now,
-            self.cfg.limits,
-            self.cfg.clique,
-            self.cfg.weights,
-            oracle,
-        ) {
-            self.link_best(id, best);
         }
     }
 
@@ -395,5 +586,124 @@ mod tests {
         let p = pool();
         assert!(p.is_empty());
         assert_eq!(p.len(), 0);
+    }
+
+    /// The parallel sharded pool must be state-identical to the sequential
+    /// pool after any interleaving of the four update events.
+    #[test]
+    fn parallel_sharded_pool_matches_sequential() {
+        use crate::spatial::SpatialPrune;
+        use watter_road::{citygen::CityConfig, CostMatrix, GridIndex};
+
+        let city = CityConfig {
+            width: 10,
+            height: 10,
+            ..Default::default()
+        }
+        .generate(11);
+        let oracle = CostMatrix::build(&city);
+        let grid = GridIndex::build(&city, 6);
+        let cfg = PoolConfig {
+            limits: PlanLimits { capacity: 4 },
+            clique: CliqueLimits::default(),
+            weights: CostWeights::default(),
+        };
+        let mut seq = OrderPool::with_spatial(cfg, SpatialPrune::for_graph(&city, grid.clone()));
+        let mut pools: Vec<OrderPool> = [(2, 2), (4, 3), (8, 6)]
+            .into_iter()
+            .map(|(threads, shards)| {
+                OrderPool::with_parallelism(
+                    cfg,
+                    Some(SpatialPrune::for_graph(&city, grid.clone())),
+                    Some(ShardMap::build(grid.clone(), shards)),
+                    Exec::new(threads),
+                )
+            })
+            .collect();
+
+        let n = city.node_count() as u32;
+        let mut now = 0;
+        for i in 0..50u32 {
+            let p = NodeId((i * 37 + 11) % n);
+            let d = NodeId((i * 53 + 29) % n);
+            let direct = watter_core::TravelCost::cost(&oracle, p, d);
+            if p == d || direct <= 0 {
+                continue;
+            }
+            now += 9;
+            let o = Order {
+                id: OrderId(i),
+                pickup: p,
+                dropoff: d,
+                riders: 1,
+                release: now,
+                deadline: now + direct * (2 + i as i64 % 3),
+                wait_limit: direct,
+                direct_cost: direct,
+            };
+            seq.insert(o.clone(), now, &oracle);
+            for pp in &mut pools {
+                pp.insert(o.clone(), now, &oracle);
+            }
+            if i % 7 == 3 {
+                let dead = seq.maintain(now, &oracle);
+                for pp in &mut pools {
+                    assert_eq!(pp.maintain(now, &oracle), dead, "maintain diverges at {i}");
+                }
+            }
+            if i % 11 == 5 {
+                if let Some(g) = seq.best_group(OrderId(i)).cloned() {
+                    let victims: Vec<OrderId> = g.order_ids().collect();
+                    seq.remove_orders(&victims, now, &oracle);
+                    for pp in &mut pools {
+                        pp.remove_orders(&victims, now, &oracle);
+                    }
+                }
+            }
+        }
+        assert!(!seq.is_empty() && seq.stats().recomputes > 0);
+        for pp in &pools {
+            assert_eq!(pp.len(), seq.len());
+            assert_eq!(pp.proposals(), seq.proposals());
+            let s = (
+                seq.stats().inserted,
+                seq.stats().removed,
+                seq.stats().recomputes,
+            );
+            let p = (
+                pp.stats().inserted,
+                pp.stats().removed,
+                pp.stats().recomputes,
+            );
+            assert_eq!(p, s, "stats diverge");
+            for o in seq.orders() {
+                let a = seq.best_group(o.id);
+                let b = pp.best_group(o.id);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        let xi: Vec<OrderId> = x.order_ids().collect();
+                        let yi: Vec<OrderId> = y.order_ids().collect();
+                        assert_eq!(xi, yi, "best group of {} diverges", o.id);
+                        assert_eq!(x.route.cost(), y.route.cost());
+                    }
+                    _ => panic!("best-group presence diverges for {}", o.id),
+                }
+            }
+        }
+    }
+
+    /// The canonical proposal sweep is `(release, id)` ascending no matter
+    /// how the pool is sharded.
+    #[test]
+    fn proposals_are_release_then_id_ordered() {
+        let mut p = pool();
+        p.insert(order(3, 0, 10, 10_000), 0, &Line);
+        p.insert(order(1, 2, 8, 10_000), 0, &Line);
+        p.insert(order(2, 1, 9, 10_000), 0, &Line);
+        assert_eq!(
+            p.proposals(),
+            vec![(0, OrderId(1)), (0, OrderId(2)), (0, OrderId(3))]
+        );
     }
 }

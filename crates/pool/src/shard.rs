@@ -1,0 +1,114 @@
+//! Grid-region sharding of the order pool.
+//!
+//! A [`ShardMap`] partitions the city's grid index into contiguous **row
+//! bands**, one shard each. Every order has a single deterministic *owner
+//! shard* — the shard of its pick-up cell — so shard membership is a pure
+//! function of the order, never of thread scheduling. Groups whose members
+//! straddle a band boundary need no special protocol: the shareability
+//! graph is global, and each order's best group is owned (computed,
+//! stored, proposed) by that order's home shard alone, which is exactly
+//! the "deterministic owner resolves boundary pools" handoff rule.
+//!
+//! The canonical merge order for anything produced per shard is
+//! `(shard_id, OrderId)`; because shard membership is scheduling-
+//! independent, concatenating per-shard results in that order yields the
+//! same sequence for every thread *and* shard count.
+
+use watter_core::NodeId;
+use watter_road::GridIndex;
+
+/// Assignment of grid cells (and thereby orders, via their pick-up node)
+/// to contiguous row-band shards.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    grid: GridIndex,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Partition `grid` into `shards` row bands. The count is clamped to
+    /// `[1, grid.dim()]` — more shards than grid rows would leave empty
+    /// bands with nothing to own.
+    pub fn build(grid: GridIndex, shards: usize) -> Self {
+        let shards = shards.clamp(1, grid.dim().max(1));
+        Self { grid, shards }
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The grid the sharding is defined over.
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// Owner shard of a grid cell: its row band. Bands are as equal as
+    /// integer division allows (`dim` rows over `shards` bands).
+    pub fn shard_of_cell(&self, cell: usize) -> usize {
+        let (_, row) = self.grid.cell_xy(cell);
+        (row * self.shards / self.grid.dim()).min(self.shards - 1)
+    }
+
+    /// Owner shard of an order picked up at `node`.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of_cell(self.grid.cell_of(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watter_road::citygen::CityConfig;
+
+    fn grid(dim: usize) -> GridIndex {
+        let g = CityConfig {
+            width: 12,
+            height: 12,
+            ..Default::default()
+        }
+        .generate(7);
+        GridIndex::build(&g, dim)
+    }
+
+    #[test]
+    fn shard_count_clamped_to_grid_rows() {
+        let m = ShardMap::build(grid(6), 64);
+        assert_eq!(m.shards(), 6);
+        let m = ShardMap::build(grid(6), 0);
+        assert_eq!(m.shards(), 1);
+    }
+
+    #[test]
+    fn every_cell_owned_by_exactly_one_valid_shard() {
+        for shards in [1, 2, 3, 4, 6] {
+            let m = ShardMap::build(grid(6), shards);
+            for cell in 0..m.grid().cells() {
+                assert!(m.shard_of_cell(cell) < m.shards());
+            }
+        }
+    }
+
+    #[test]
+    fn bands_are_contiguous_and_monotone_in_row() {
+        let m = ShardMap::build(grid(8), 3);
+        let mut last = 0;
+        for row in 0..8 {
+            // Cell index = row * dim + col (see GridIndex::cell_xy).
+            let s = m.shard_of_cell(row * 8);
+            assert!(s >= last, "shard must not decrease with row");
+            last = s;
+        }
+        assert_eq!(last, 2, "all bands used");
+    }
+
+    #[test]
+    fn owner_is_a_pure_function_of_the_pickup() {
+        let m = ShardMap::build(grid(6), 4);
+        for n in [0u32, 5, 37, 101, 143] {
+            let node = NodeId(n);
+            assert_eq!(m.shard_of(node), m.shard_of(node));
+        }
+    }
+}

@@ -163,6 +163,13 @@ impl ShareGraph {
     /// — same edges either way.
     ///
     /// Returns the ids of the new neighbours, ascending.
+    ///
+    /// Composed from the three stages the parallel pool also uses:
+    /// [`candidate_partners`](Self::candidate_partners) (read-only scan) →
+    /// [`eval_edge`](Self::eval_edge) per candidate (pure) →
+    /// [`commit`](Self::commit) (the only mutation). `OrderPool` runs the
+    /// middle stage across threads; edges are identical either way because
+    /// evaluation never touches graph state.
     pub fn insert<C: TravelBound>(
         &mut self,
         order: Order,
@@ -170,71 +177,98 @@ impl ShareGraph {
         limits: PlanLimits,
         oracle: &C,
     ) -> Vec<OrderId> {
-        let id = order.id;
-        debug_assert!(
-            !self.orders.contains_key(&id),
-            "order {id} inserted twice into the pool"
-        );
         let order = Arc::new(order);
-        let mut new_neighbors: Vec<(OrderId, PairEdge)> = Vec::new();
+        let edges: Vec<(OrderId, PairEdge)> = self
+            .candidate_partners(&order, now)
+            .into_iter()
+            .filter_map(|j| {
+                self.eval_edge(&order, j, now, limits, oracle)
+                    .map(|e| (j, e))
+            })
+            .collect();
+        self.commit(order, edges)
+    }
+
+    /// Candidate partner ids for an arriving order, ascending: the whole
+    /// pool, or — with spatial pruning — only orders in the slack-reachable
+    /// cell ring that also pass the per-pair ring refinement. Read-only;
+    /// candidate selection depends only on graph state and the order.
+    pub fn candidate_partners(&self, order: &Order, now: Ts) -> Vec<OrderId> {
         match &self.spatial {
-            None => {
-                for other in self.orders.values() {
-                    if let Some(edge) = pair_edge(&order, other, now, limits, oracle) {
-                        new_neighbors.push((other.id, edge));
-                    }
-                }
-            }
+            None => self.orders.keys().copied().collect(),
             Some(st) => {
                 // Both pre-filter arms require the *new* order to have solo
                 // slack left; without it no pair is admissible and the scan
                 // can be skipped outright.
                 let slack_new = order.deadline - order.direct_cost - now;
-                let pool_slack = st.max_latest_start().map(|dd| dd - now);
-                if slack_new > 0 {
-                    if let Some(pool_slack) = pool_slack {
-                        // No pooled order's slack exceeds this, so once the
-                        // ring bound reaches it the remaining rings cannot
-                        // hold an admissible partner.
-                        let ring_limit = slack_new.max(pool_slack);
-                        let grid = st.prune.grid();
-                        let (cx, cy) = grid.cell_xy(grid.cell_of(order.pickup));
-                        let mut candidates: Vec<OrderId> = Vec::new();
-                        grid.ring_search(order.pickup, |cell| {
-                            let (x, y) = grid.cell_xy(cell);
-                            let d = cx.abs_diff(x).max(cy.abs_diff(y));
-                            if st.prune.skip(d, ring_limit) {
-                                return true; // this ring and beyond: hopeless
-                            }
-                            if let Some(bucket) = st.cells.get(&cell) {
-                                candidates.extend(bucket.iter().copied());
-                            }
-                            false
-                        });
-                        candidates.sort_unstable();
-                        for cand in candidates {
-                            let other = &self.orders[&cand];
-                            // Per-pair refinement of the ring bound: the
-                            // pre-filter can only pass if the pick-up leg is
-                            // below one of the pair's slacks.
-                            let d = st.prune.grid().cell_distance(order.pickup, other.pickup);
-                            let pair_slack =
-                                slack_new.max(other.deadline - other.direct_cost - now);
-                            if st.prune.skip(d, pair_slack) {
-                                continue;
-                            }
-                            if let Some(edge) = pair_edge(&order, other, now, limits, oracle) {
-                                new_neighbors.push((other.id, edge));
-                            }
-                        }
-                    }
+                let Some(pool_slack) = st.max_latest_start().map(|dd| dd - now) else {
+                    return Vec::new();
+                };
+                if slack_new <= 0 {
+                    return Vec::new();
                 }
+                // No pooled order's slack exceeds this, so once the ring
+                // bound reaches it the remaining rings cannot hold an
+                // admissible partner.
+                let ring_limit = slack_new.max(pool_slack);
+                let grid = st.prune.grid();
+                let (cx, cy) = grid.cell_xy(grid.cell_of(order.pickup));
+                let mut candidates: Vec<OrderId> = Vec::new();
+                grid.ring_search(order.pickup, |cell| {
+                    let (x, y) = grid.cell_xy(cell);
+                    let d = cx.abs_diff(x).max(cy.abs_diff(y));
+                    if st.prune.skip(d, ring_limit) {
+                        return true; // this ring and beyond: hopeless
+                    }
+                    if let Some(bucket) = st.cells.get(&cell) {
+                        candidates.extend(bucket.iter().copied());
+                    }
+                    false
+                });
+                candidates.sort_unstable();
+                candidates.retain(|cand| {
+                    let other = &self.orders[cand];
+                    // Per-pair refinement of the ring bound: the pre-filter
+                    // can only pass if the pick-up leg is below one of the
+                    // pair's slacks.
+                    let d = grid.cell_distance(order.pickup, other.pickup);
+                    let pair_slack = slack_new.max(other.deadline - other.direct_cost - now);
+                    !st.prune.skip(d, pair_slack)
+                });
+                candidates
             }
         }
+    }
+
+    /// Validate the candidate pair `(order, cand)`: pre-filter, pair
+    /// planner, edge-expiry computation. Pure with respect to graph state —
+    /// safe to evaluate from multiple threads concurrently and the reason
+    /// parallel inserts are bit-identical to sequential ones.
+    pub fn eval_edge<C: TravelBound>(
+        &self,
+        order: &Arc<Order>,
+        cand: OrderId,
+        now: Ts,
+        limits: PlanLimits,
+        oracle: &C,
+    ) -> Option<PairEdge> {
+        pair_edge(order, self.orders.get(&cand)?, now, limits, oracle)
+    }
+
+    /// Commit an arriving order and its validated edges (`(id, edge)`
+    /// ascending by id) into the graph. The sole mutation stage of an
+    /// insert. Returns the neighbour ids, ascending.
+    pub fn commit(&mut self, order: Arc<Order>, edges: Vec<(OrderId, PairEdge)>) -> Vec<OrderId> {
+        let id = order.id;
+        debug_assert!(
+            !self.orders.contains_key(&id),
+            "order {id} inserted twice into the pool"
+        );
         // Ascending by construction: the full scan iterates the ordered
-        // order map, and the spatial path sorts `candidates` up front.
-        debug_assert!(new_neighbors.windows(2).all(|w| w[0].0 < w[1].0));
-        for &(j, e) in &new_neighbors {
+        // order map, the spatial path sorts candidates up front, and the
+        // parallel path merges per-shard chunks in canonical order.
+        debug_assert!(edges.windows(2).all(|w| w[0].0 < w[1].0));
+        for &(j, e) in &edges {
             self.adj.entry(id).or_default().insert(j, e);
             self.adj.entry(j).or_default().insert(id, e);
         }
@@ -242,7 +276,7 @@ impl ShareGraph {
             st.track(&order);
         }
         self.orders.insert(id, order);
-        new_neighbors.into_iter().map(|(j, _)| j).collect()
+        edges.into_iter().map(|(j, _)| j).collect()
     }
 
     /// Remove an order (dispatched or rejected), dropping its edges.

@@ -1,4 +1,4 @@
-//! Sharded memoization layer over point-query travel-cost oracles.
+//! Lock-free memoization layer over point-query travel-cost oracles.
 //!
 //! Within one dispatch batch the same `(pickup, dropoff)` pair is queried
 //! many times: the shareability pre-filter, the pair planner, clique
@@ -11,36 +11,101 @@
 //! are the inner oracle's answers verbatim — so a cached run is
 //! bit-identical to an uncached one (`tests/accel.rs` proves it
 //! property-wise).
+//!
+//! # Concurrency
+//!
+//! The previous design guarded 16 `Mutex<Vec<Entry>>` shards; under the
+//! parallel dispatch engine those locks serialize *readers*, which is
+//! exactly the common case (`micro_road`'s contention bench measures the
+//! difference). Slots are now independent seqlocks built from three
+//! atomics, so readers never block and never block each other:
+//!
+//! * **read**: load `seq` (must be even = no writer mid-flight), then
+//!   `key`, then `cost`, then re-load `seq`; any mismatch → treat as a
+//!   miss. The writer bumps `seq` to odd *before* publishing `key`/`cost`
+//!   (each with `Release`), so a reader that observes a new datum is
+//!   guaranteed to observe a changed `seq` on the re-load and reject the
+//!   torn pair — the classic seqlock argument, per-slot.
+//! * **write**: claim the slot by CAS-ing `seq` from even to odd; on
+//!   contention simply *skip caching* (the computed answer is returned
+//!   either way, correctness never depends on a store landing).
+//!
+//! A miss recomputes through the inner oracle, so answers are exact under
+//! every interleaving; only the `hits`/`misses` counters may differ
+//! between concurrent schedules (they are diagnostics, not outcomes).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use watter_core::{Dur, NodeId, TravelBound, TravelCost};
 
-/// Number of independently locked shards (power of two). Shards bound lock
-/// contention when the oracle is shared across threads; within one shard the
-/// cache is a direct-mapped table.
-const SHARDS: usize = 16;
-
-/// `(a, b)` packed into the shard key; `u64::MAX` doubles as the empty-slot
+/// `(a, b)` packed into the slot key; `u64::MAX` doubles as the empty-slot
 /// sentinel (it would require both node ids to be `u32::MAX`, which no graph
 /// in this workspace can produce — and such a query bypasses the cache).
 const EMPTY: u64 = u64::MAX;
 
-#[derive(Clone, Copy, Debug)]
-struct Entry {
-    key: u64,
-    cost: Dur,
+/// One direct-mapped cache slot: a per-slot seqlock (see module docs).
+#[derive(Debug)]
+struct Slot {
+    /// Even = stable, odd = writer mid-flight. Incremented by two per
+    /// completed publish.
+    seq: AtomicU64,
+    key: AtomicU64,
+    cost: AtomicI64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            key: AtomicU64::new(EMPTY),
+            cost: AtomicI64::new(0),
+        }
+    }
+
+    /// Read the cached cost for `key`, or `None` when the slot holds
+    /// another pair or a concurrent writer may have torn the read.
+    #[inline]
+    fn read(&self, key: u64) -> Option<Dur> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 != 0 || self.key.load(Ordering::Acquire) != key {
+            return None;
+        }
+        let cost = self.cost.load(Ordering::Acquire);
+        (self.seq.load(Ordering::Acquire) == s1).then_some(cost)
+    }
+
+    /// Publish `(key, cost)`; silently skips when another writer holds the
+    /// slot (the answer was computed exactly and is returned regardless).
+    #[inline]
+    fn publish(&self, key: u64, cost: Dur) {
+        let s = self.seq.load(Ordering::Relaxed);
+        if s & 1 != 0 {
+            return;
+        }
+        if self
+            .seq
+            .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.key.store(key, Ordering::Release);
+        self.cost.store(cost, Ordering::Release);
+        self.seq.store(s + 2, Ordering::Release);
+    }
 }
 
 /// A fixed-capacity, deterministic memoization layer over a point-query
 /// travel-cost oracle.
 ///
-/// * **Hits are allocation-free**: one hash, one lock, one array read.
+/// * **Hits are allocation-free and lock-free**: one hash, four atomic
+///   loads; concurrent readers proceed fully independently.
 /// * **Eviction is deterministic**: the cache is direct-mapped, so the slot
 ///   a pair lands in depends only on the pair, never on insertion history —
 ///   runs stay reproducible from the scenario seed alone.
 /// * **Transparent**: answers are the inner oracle's answers, so wrapping
-///   never changes simulation results, only their latency.
+///   never changes simulation results, only their latency. That holds under
+///   concurrency too: a torn or contended slot degrades to an exact
+///   recompute, never to a wrong answer.
 ///
 /// Wrap by value, reference or `Arc` — anything implementing
 /// [`TravelCost`] works; [`TravelBound`] is forwarded when the inner oracle
@@ -48,36 +113,25 @@ struct Entry {
 #[derive(Debug)]
 pub struct CachedOracle<C> {
     inner: C,
-    shards: Vec<Mutex<Vec<Entry>>>,
+    slots: Vec<Slot>,
     slot_mask: u64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl<C: TravelCost> CachedOracle<C> {
-    /// Default total capacity: 64 Ki entries ≈ 1 MiB — enough to hold every
-    /// pair a dispatch batch touches at the paper's densities.
+    /// Default total capacity: 64 Ki entries ≈ 1.5 MiB — enough to hold
+    /// every pair a dispatch batch touches at the paper's densities.
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
-    /// Wrap `inner` with a cache of `capacity` total entries (rounded up to
-    /// a power of two, minimum one entry per shard).
+    /// Wrap `inner` with a cache of `capacity` slots (rounded up to a
+    /// power of two, minimum one).
     pub fn new(inner: C, capacity: usize) -> Self {
-        let per_shard = capacity.div_ceil(SHARDS).next_power_of_two().max(1);
-        let shards = (0..SHARDS)
-            .map(|_| {
-                Mutex::new(vec![
-                    Entry {
-                        key: EMPTY,
-                        cost: 0
-                    };
-                    per_shard
-                ])
-            })
-            .collect();
+        let slots = capacity.next_power_of_two().max(1);
         Self {
             inner,
-            shards,
-            slot_mask: (per_shard - 1) as u64,
+            slots: (0..slots).map(|_| Slot::empty()).collect(),
+            slot_mask: (slots - 1) as u64,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -93,23 +147,26 @@ impl<C: TravelCost> CachedOracle<C> {
         &self.inner
     }
 
-    /// Cache hits since construction.
+    /// Cache hits since construction. Under concurrent access this is a
+    /// diagnostic: schedules may turn a would-be hit into a recompute, so
+    /// only single-threaded counts are exactly reproducible.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache misses (inner-oracle queries) since construction.
+    /// Cache misses (inner-oracle queries) since construction; same
+    /// caveat as [`Self::hits`].
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Total entries across all shards.
+    /// Total slots.
     pub fn capacity(&self) -> usize {
-        SHARDS * (self.slot_mask as usize + 1)
+        self.slots.len()
     }
 
-    /// SplitMix64 finalizer: spreads the packed pair over shard and slot
-    /// bits so structured query patterns (scans along one row) don't collide.
+    /// SplitMix64 finalizer: spreads the packed pair over the slot bits so
+    /// structured query patterns (scans along one row) don't collide.
     #[inline]
     fn mix(mut x: u64) -> u64 {
         x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -124,18 +181,14 @@ impl<C: TravelCost> TravelCost for CachedOracle<C> {
         if key == EMPTY {
             return self.inner.cost(a, b);
         }
-        let h = Self::mix(key);
-        let shard = &self.shards[(h as usize) & (SHARDS - 1)];
-        let slot = ((h >> SHARDS.trailing_zeros()) & self.slot_mask) as usize;
-        let mut entries = shard.lock().unwrap_or_else(|e| e.into_inner());
-        let e = &mut entries[slot];
-        if e.key == key {
+        let slot = &self.slots[(Self::mix(key) & self.slot_mask) as usize];
+        if let Some(cost) = slot.read(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return e.cost;
+            return cost;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let cost = self.inner.cost(a, b);
-        *e = Entry { key, cost };
+        slot.publish(key, cost);
         cost
     }
 }
@@ -187,7 +240,7 @@ mod tests {
 
     #[test]
     fn tiny_capacity_still_answers_correctly() {
-        // One slot per shard: constant eviction, never a wrong answer.
+        // One slot: constant eviction, never a wrong answer.
         let c = CachedOracle::new(Line(AtomicUsize::new(0)), 1);
         for i in 0..200u32 {
             let (a, b) = (NodeId(i % 17), NodeId((i * 7) % 23));
@@ -203,9 +256,45 @@ mod tests {
     }
 
     #[test]
-    fn capacity_rounds_up_to_power_of_two_per_shard() {
+    fn capacity_rounds_up_to_power_of_two() {
         let c = CachedOracle::new(Line(AtomicUsize::new(0)), 100);
-        // 100 / 16 shards = 6.25 → 7 → 8 slots per shard.
-        assert_eq!(c.capacity(), 16 * 8);
+        assert_eq!(c.capacity(), 128);
+    }
+
+    #[test]
+    fn claimed_slot_skips_publish_but_still_answers() {
+        // Simulate a writer parked mid-publish: the slot's seq is odd, so
+        // readers treat it as a miss and publishers back off — the query
+        // still returns the exact answer.
+        let c = CachedOracle::new(Line(AtomicUsize::new(0)), 1);
+        c.slots[0].seq.store(1, Ordering::Release);
+        assert_eq!(c.cost(NodeId(3), NodeId(8)), 50);
+        assert_eq!(c.cost(NodeId(3), NodeId(8)), 50);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 2);
+        // Slot untouched by the backed-off publishes.
+        assert_eq!(c.slots[0].seq.load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn concurrent_hammering_never_returns_a_wrong_cost() {
+        use std::sync::Arc;
+        // Tiny cache → constant eviction and slot contention; every thread
+        // checks every answer against the ground-truth metric.
+        let c = Arc::new(CachedOracle::new(Line(AtomicUsize::new(0)), 4));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..5_000u32 {
+                        let a = NodeId((i.wrapping_mul(7) + t) % 29);
+                        let b = NodeId((i.wrapping_mul(13) + 3 * t) % 31);
+                        assert_eq!(c.cost(a, b), (a.0 as i64 - b.0 as i64).abs() * 10);
+                    }
+                });
+            }
+        });
+        // Every query was answered (hit or miss), none lost.
+        assert_eq!(c.hits() + c.misses(), 4 * 5_000);
     }
 }

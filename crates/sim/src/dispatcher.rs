@@ -9,9 +9,10 @@
 use crate::env::build_env;
 use crate::fleet::Fleet;
 use watter_core::{
-    CostWeights, Group, Measurements, Order, OrderId, OrderOutcome, TravelBound, Ts, WorkerId,
+    CostWeights, DispatchParallelism, Exec, Group, Measurements, Order, OrderId, OrderOutcome,
+    TravelBound, Ts, WorkerId,
 };
-use watter_pool::{OrderPool, PoolConfig, SpatialPrune};
+use watter_pool::{OrderPool, PoolConfig, ShardMap, SpatialPrune};
 use watter_road::GridIndex;
 use watter_strategy::{DecisionContext, DecisionPolicy, NoopObserver, PoolObserver};
 
@@ -30,6 +31,10 @@ pub struct SimCtx<'a> {
     pub oracle: &'a dyn TravelBound,
     /// Extra-time weights (α, β).
     pub weights: CostWeights,
+    /// Thread pool for pure fan-out work (fleet scans). The engine builds
+    /// one per run from [`crate::SimConfig::parallelism`]; dispatchers that
+    /// construct a `SimCtx` by hand can use [`Exec::sequential`].
+    pub exec: &'a Exec,
 }
 
 impl SimCtx<'_> {
@@ -39,9 +44,13 @@ impl SimCtx<'_> {
     pub fn dispatch_group(&mut self, group: &Group) -> Option<WorkerId> {
         let first = group.route.first_node()?;
         let last = group.route.last_node()?;
-        let wid = self
-            .fleet
-            .nearest_idle(first, self.now, group.total_riders(), &self.oracle)?;
+        let wid = self.fleet.nearest_idle_par(
+            first,
+            self.now,
+            group.total_riders(),
+            self.oracle,
+            self.exec,
+        )?;
         let approach = self.oracle.cost(self.fleet.location(wid), first);
         let travel = approach + group.route.cost();
         self.fleet.assign(wid, last, self.now, travel);
@@ -151,6 +160,14 @@ pub struct WatterConfig {
     /// instead of the whole pool. Bit-identical outcomes either way; `None`
     /// keeps the full scan.
     pub spatial: Option<SpatialPrune>,
+    /// Sharded/parallel pool execution. `shards > 1` partitions pooled
+    /// orders into grid-row-band shards owned by their pick-up cell (the
+    /// proposal sweep and insert fan-out chunk by shard); `threads > 1`
+    /// runs pure pool computation (edge evaluation, clique search, batch
+    /// recomputes) on a scoped thread pool. Outcomes are bit-identical to
+    /// [`DispatchParallelism::SEQUENTIAL`] for every setting — state
+    /// commits stay sequential in canonical order.
+    pub parallelism: DispatchParallelism,
 }
 
 /// Algorithm 1: graph-based order pooling management, parameterized by the
@@ -176,11 +193,15 @@ impl<P: DecisionPolicy, O: PoolObserver> WatterDispatcher<P, O> {
     /// Build a dispatcher that reports every order event to `observer`
     /// (offline experience generation, Section VI-B).
     pub fn with_observer(cfg: WatterConfig, policy: P, observer: O) -> Self {
+        let shards = (cfg.parallelism.shards > 1)
+            .then(|| ShardMap::build(cfg.grid.clone(), cfg.parallelism.shards));
         Self {
-            pool: match cfg.spatial {
-                Some(spatial) => OrderPool::with_spatial(cfg.pool, spatial),
-                None => OrderPool::new(cfg.pool),
-            },
+            pool: OrderPool::with_parallelism(
+                cfg.pool,
+                cfg.spatial,
+                shards,
+                Exec::from_parallelism(cfg.parallelism),
+            ),
             policy,
             grid: cfg.grid,
             check_period: cfg.check_period,
@@ -253,9 +274,10 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
                 self.pool.remove_orders(&[id], now, &ctx.oracle);
             }
         }
-        // Lines 8–16: per-order decision on the current best group.
-        let mut ids: Vec<(Ts, OrderId)> = self.pool.orders().map(|o| (o.release, o.id)).collect();
-        ids.sort_unstable();
+        // Lines 8–16: per-order decision on the current best group. The
+        // sweep order is canonical `(release, id)` regardless of shard
+        // layout or thread count (see `OrderPool::proposals`).
+        let ids = self.pool.proposals();
         let check_period = self.check_period;
         for (_, id) in ids {
             // May have been dispatched as a member of an earlier group.

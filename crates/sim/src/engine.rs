@@ -9,7 +9,9 @@
 use crate::dispatcher::{Dispatcher, SimCtx};
 use crate::fleet::Fleet;
 use std::time::Instant;
-use watter_core::{CostWeights, Dur, Measurements, Order, TravelBound, Ts, Worker};
+use watter_core::{
+    CostWeights, DispatchParallelism, Dur, Exec, Measurements, Order, TravelBound, Ts, Worker,
+};
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +24,10 @@ pub struct SimConfig {
     /// then is force-rejected (prevents infinite loops on buggy
     /// dispatchers — with correct dispatchers everything resolves earlier).
     pub drain_horizon: Dur,
+    /// Thread-pool size for the engine's own fan-out work (parallel
+    /// nearest-idle fleet scans). Results are bit-identical for any
+    /// setting; the default is fully sequential.
+    pub parallelism: DispatchParallelism,
 }
 
 impl Default for SimConfig {
@@ -30,6 +36,7 @@ impl Default for SimConfig {
             check_period: 10,
             weights: CostWeights::default(),
             drain_horizon: 4 * 3600,
+            parallelism: DispatchParallelism::SEQUENTIAL,
         }
     }
 }
@@ -49,6 +56,7 @@ pub fn run<D: Dispatcher>(
     orders.sort_by_key(|o| (o.release, o.id));
     let mut fleet = Fleet::new(workers);
     let mut measurements = Measurements::default();
+    let exec = Exec::from_parallelism(cfg.parallelism);
 
     let first_release = orders.first().map(|o| o.release).unwrap_or(0);
     let last_release = orders.last().map(|o| o.release).unwrap_or(0);
@@ -77,6 +85,7 @@ pub fn run<D: Dispatcher>(
                     measurements: &mut measurements,
                     oracle,
                     weights: cfg.weights,
+                    exec: &exec,
                 };
                 let t0 = Instant::now();
                 dispatcher.on_arrival(order, &mut ctx);
@@ -89,6 +98,7 @@ pub fn run<D: Dispatcher>(
                 measurements: &mut measurements,
                 oracle,
                 weights: cfg.weights,
+                exec: &exec,
             };
             let t0 = Instant::now();
             dispatcher.on_check(&mut ctx);

@@ -11,7 +11,7 @@
 
 use crate::profile::CityProfile;
 use serde::{Deserialize, Serialize};
-use watter_core::{Dur, OracleKind, Ts};
+use watter_core::{DispatchParallelism, Dur, OracleKind, Ts};
 
 /// All knobs of one simulated scenario.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -55,6 +55,12 @@ pub struct ScenarioParams {
     /// expensive (the ALT oracle on large cities). The workload build
     /// itself never uses the cache, so generated demand is unaffected.
     pub cost_cache: bool,
+    /// Sharded/parallel dispatch execution (`--threads` / `--shards`).
+    /// Outcomes are bit-identical for any setting — parallelism only
+    /// fans out pure computation; all state commits stay sequential in
+    /// canonical order — so this knob never changes results, only
+    /// wall-clock time.
+    pub parallelism: DispatchParallelism,
     /// Master seed for the road network, demand and fleet.
     pub seed: u64,
 }
@@ -81,6 +87,7 @@ impl ScenarioParams {
             echo_prob: 0.55,
             oracle: OracleKind::Auto,
             cost_cache: false,
+            parallelism: DispatchParallelism::SEQUENTIAL,
             seed: 20_240_311, // arXiv submission date of the paper
         }
     }

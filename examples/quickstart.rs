@@ -110,6 +110,7 @@ fn main() {
         check_period: 10,
         weights: CostWeights::default(),
         drain_horizon: 3600,
+        parallelism: watter::core::DispatchParallelism::SEQUENTIAL,
     };
 
     let mut watter = WatterDispatcher::new(
@@ -124,6 +125,7 @@ fn main() {
             check_period: 10,
             cancellation: watter_sim::CancellationModel::OFF,
             cancel_seed: 0,
+            parallelism: watter::core::DispatchParallelism::SEQUENTIAL,
         },
         OnlinePolicy,
     );

@@ -5,7 +5,8 @@
 //! watter-cli run   [--profile nyc|cdc|xia] [--algo gdp|gas|nonshare|online|timeout|expect]
 //!                  [--orders N] [--workers M] [--tau F] [--kw K] [--eta F]
 //!                  [--city-side B] [--oracle auto|dense|alt] [--landmarks K]
-//!                  [--cost-cache] [--seed S] [--json PATH]
+//!                  [--cost-cache] [--threads T] [--shards S]
+//!                  [--seed S] [--json PATH]
 //! watter-cli train [--profile nyc|cdc|xia] [--out model.json] [--steps N]
 //! ```
 //!
@@ -16,6 +17,12 @@
 //! `--cost-cache` wraps the oracle in the sharded memoization layer for
 //! the simulation run — dispatch outcomes are bit-identical, only faster;
 //! worthwhile whenever the ALT backend is active.
+//!
+//! `--threads T` runs the dispatch engine's pure computation (pool edge
+//! evaluation, clique search, fleet scans) on `T` scoped threads
+//! (`0` = all cores); `--shards S` partitions the order pool into `S`
+//! grid-row-band shards. Outcomes are bit-identical for every setting —
+//! these flags only change wall-clock time.
 //!
 //! `--algo expect` trains a value function on a sibling "day" first (or
 //! loads one via `--model model.json`).
@@ -100,6 +107,12 @@ fn params_of(flags: &HashMap<String, String>) -> ScenarioParams {
         }
     }
     p.cost_cache = flags.get("cost-cache").map(|s| s.as_str()) == Some("true");
+    if let Some(t) = flags.get("threads").and_then(|s| s.parse().ok()) {
+        p.parallelism.threads = t;
+    }
+    if let Some(s) = flags.get("shards").and_then(|s| s.parse::<usize>().ok()) {
+        p.parallelism.shards = s.max(1);
+    }
     p
 }
 

@@ -86,6 +86,7 @@ pub fn watter_config(scenario: &Scenario) -> WatterConfig {
             &scenario.graph,
             scenario.grid.clone(),
         )),
+        parallelism: scenario.params.parallelism,
     }
 }
 
@@ -135,6 +136,7 @@ pub fn sim_config(scenario: &Scenario) -> SimConfig {
         check_period: scenario.params.check_period,
         weights: CostWeights::default(),
         drain_horizon: 4 * 3600,
+        parallelism: scenario.params.parallelism,
     }
 }
 

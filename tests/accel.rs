@@ -169,6 +169,83 @@ proptest! {
     }
 }
 
+/// Regression: spatial pruning at the city border. `GridIndex::build`
+/// clamps coordinates into the outermost cells, and `ring_search` from an
+/// edge or corner cell visits only the in-grid part of each square ring —
+/// a bug in either (skipping clamped border cells, or stopping before the
+/// far corner's ring) would silently drop shareable partners for orders
+/// at the map margin. Pin full-scan/pruned equality on a stream placed
+/// entirely in corner and edge cells, with slacks generous enough that
+/// every partial ring out to the opposite corner must be scanned.
+#[test]
+fn spatial_prune_covers_clamped_border_cells() {
+    let side = 12usize;
+    for (pidx, grid_dim) in [(0usize, 6usize), (1, 8), (2, 12)] {
+        let graph = Arc::new(profile(pidx).city_config(side).generate(97));
+        let oracle = CostMatrix::build(&graph);
+        let grid = GridIndex::build(&graph, grid_dim);
+        let spatial = SpatialPrune::for_graph(&graph, grid.clone());
+        let limits = PlanLimits { capacity: 4 };
+        let n = graph.node_count() as u32;
+        let last_row = (side - 1) as u32 * side as u32;
+        // Row-major city: the four corners, edge midpoints and one center
+        // node. Corner pick-ups straddle the grid's clamped border cells.
+        let spots = [
+            0,
+            side as u32 - 1,
+            last_row,
+            n - 1,
+            side as u32 / 2,
+            last_row + side as u32 / 2,
+            (side as u32 / 2) * side as u32,
+            (side as u32 / 2) * side as u32 + side as u32 - 1,
+            (side as u32 / 2) * side as u32 + side as u32 / 2,
+        ];
+        let mut full = ShareGraph::new();
+        let mut pruned = ShareGraph::with_spatial(spatial);
+        let now = 0;
+        let mut id = 0u32;
+        for &p in &spots {
+            for &d in &spots {
+                let (p, d) = (NodeId(p), NodeId(d));
+                let direct = oracle.cost(p, d);
+                if p == d || direct >= watter_road::dijkstra::UNREACHABLE {
+                    continue;
+                }
+                let o = Order {
+                    id: OrderId(id),
+                    pickup: p,
+                    dropoff: d,
+                    riders: 1,
+                    release: now,
+                    // Slack spans the whole city: corner-to-corner pairs
+                    // stay shareable, so pruning must reach the far rings.
+                    deadline: now + 6 * direct + 3_600,
+                    wait_limit: 2 * direct,
+                    direct_cost: direct,
+                };
+                id += 1;
+                let a = full.insert(o.clone(), now, limits, &oracle);
+                let b = pruned.insert(o, now, limits, &oracle);
+                assert_eq!(
+                    a, b,
+                    "grid_dim {grid_dim}: neighbour sets diverge for order at ({p}, {d})"
+                );
+            }
+        }
+        assert!(
+            full.edge_count() > 0,
+            "border stream produced no shareable pairs — test is inert"
+        );
+        assert_eq!(full.edge_count(), pruned.edge_count());
+        for oid in full.order_ids() {
+            let fe: Vec<_> = full.neighbors(oid).collect();
+            let pe: Vec<_> = pruned.neighbors(oid).collect();
+            assert_eq!(fe, pe, "grid_dim {grid_dim}: adjacency of {oid} diverges");
+        }
+    }
+}
+
 /// End-to-end: every acceleration configuration (full scan / spatial /
 /// spatial + cached oracle) produces the same dispatch outcomes on the
 /// same scenario — the layers change latency, never results.

@@ -72,6 +72,7 @@ fn sim_cfg() -> SimConfig {
         check_period: 10,
         weights: CostWeights::default(),
         drain_horizon: 3600,
+        parallelism: watter::core::DispatchParallelism::SEQUENTIAL,
     }
 }
 
@@ -91,6 +92,7 @@ fn run_watter() -> Measurements {
             check_period: 10,
             cancellation: watter_sim::CancellationModel::OFF,
             cancel_seed: 0,
+            parallelism: watter::core::DispatchParallelism::SEQUENTIAL,
         },
         OnlinePolicy,
     );

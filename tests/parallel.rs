@@ -1,0 +1,138 @@
+//! Determinism contract of the parallel sharded dispatch engine.
+//!
+//! The engine parallelizes only *pure* computation (pair-edge evaluation,
+//! clique subtree search, best-group recomputation, nearest-idle fleet
+//! scans) and commits every state change sequentially in a canonical
+//! order, so the same scenario seed must yield **bit-identical
+//! measurements for every thread count and every shard count**. These
+//! tests pin that contract end to end, over all three city profiles and
+//! over order streams deliberately straddling shard boundaries.
+//!
+//! Wall-clock decision time is the one measurement that legitimately
+//! varies run to run; outcome tuples therefore compare served/rejected
+//! counts and the exact bit patterns of the paper's cost metrics,
+//! mirroring `tests/accel.rs`.
+
+use proptest::prelude::*;
+use watter::prelude::*;
+use watter_core::{DispatchParallelism, Measurements};
+use watter_strategy::OnlinePolicy;
+
+/// Thread × shard settings swept against the sequential baseline. Thread
+/// counts cover the proptest contract ({1, 2, 4, 8}); shard counts mix
+/// no-op sharding (1), row bands that divide the grid evenly, and a shard
+/// count that doesn't divide the grid dimension (uneven bands).
+const SWEEP: [(usize, usize); 5] = [(1, 4), (2, 1), (2, 2), (4, 3), (8, 6)];
+
+/// The outcome fingerprint that must be bit-identical across settings.
+fn fingerprint(m: &Measurements) -> (u64, u64, u64, u64, u64) {
+    (
+        m.served_orders,
+        m.rejected_orders,
+        m.extra_time().to_bits(),
+        m.unified_cost().to_bits(),
+        m.mean_group_size().to_bits(),
+    )
+}
+
+fn run_with(scenario: &mut Scenario, parallelism: DispatchParallelism) -> Measurements {
+    use watter::runner::{sim_config, watter_config};
+    scenario.params.parallelism = parallelism;
+    let mut d = WatterDispatcher::new(watter_config(scenario), OnlinePolicy);
+    watter_sim::run(
+        scenario.orders.clone(),
+        scenario.workers.clone(),
+        &mut d,
+        scenario.oracle.as_ref(),
+        sim_config(scenario),
+    )
+}
+
+proptest! {
+    // Each case runs the engine six times on 150 orders; keep the case
+    // count modest so single-core CI stays fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same seed ⇒ bit-identical measurements for every thread count and
+    /// shard count, on every city profile.
+    #[test]
+    fn engine_outcomes_are_thread_and_shard_invariant(
+        pidx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let mut params = ScenarioParams::default_for(CityProfile::ALL[pidx]);
+        params.n_orders = 150;
+        params.n_workers = 15;
+        params.city_side = 12;
+        params.seed = seed;
+        let mut scenario = Scenario::build(params);
+
+        let baseline = run_with(&mut scenario, DispatchParallelism::SEQUENTIAL);
+        prop_assert!(
+            baseline.served_orders > 0,
+            "degenerate scenario: nothing served, the sweep would be inert"
+        );
+        for (threads, shards) in SWEEP {
+            let m = run_with(&mut scenario, DispatchParallelism { threads, shards });
+            prop_assert_eq!(
+                fingerprint(&m),
+                fingerprint(&baseline),
+                "threads={} shards={} diverged from sequential", threads, shards
+            );
+        }
+    }
+}
+
+/// Shard-boundary stress: every pick-up lands in one of the two grid rows
+/// adjacent to a shard boundary (for 2 shards on a 10-row grid, rows 4
+/// and 5), so essentially every shareable pair straddles shards and every
+/// group's members span two owner shards. Outcomes must still match the
+/// sequential engine bit for bit — the share graph is global; shards only
+/// partition the proposal sweep and insert fan-out.
+#[test]
+fn shard_boundary_straddling_orders_match_sequential() {
+    let side = 20usize;
+    let mut params = ScenarioParams::default_for(CityProfile::Chengdu);
+    params.n_orders = 120;
+    params.n_workers = 12;
+    params.city_side = side;
+    params.grid_dim = 10;
+    params.seed = 4242;
+    let mut scenario = Scenario::build(params);
+
+    // Rewrite every pick-up into the two city rows that map to the grid
+    // rows flanking the 2-shard boundary (grid rows 4 and 5 of 10), while
+    // keeping each order's column. Recompute the direct costs the stream
+    // generator had cached for the old pick-ups.
+    let boundary_rows = [(side / 2 - 1) as u32, (side / 2) as u32];
+    let orders: Vec<_> = scenario
+        .orders
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let col = o.pickup.0 % side as u32;
+            let pickup = watter_core::NodeId(boundary_rows[i % 2] * side as u32 + col);
+            let direct = watter_core::TravelCost::cost(&scenario.oracle, pickup, o.dropoff);
+            watter_core::Order {
+                pickup,
+                direct_cost: direct,
+                deadline: o.release + 3 * direct,
+                wait_limit: 2 * direct,
+                ..o.clone()
+            }
+        })
+        .filter(|o| o.direct_cost > 0)
+        .collect();
+    scenario.orders = orders;
+
+    let baseline = run_with(&mut scenario, DispatchParallelism::SEQUENTIAL);
+    assert!(baseline.served_orders > 0, "boundary stream served nothing");
+    for (threads, shards) in [(2usize, 2usize), (4, 2), (4, 5), (8, 10)] {
+        let m = run_with(&mut scenario, DispatchParallelism { threads, shards });
+        assert_eq!(
+            fingerprint(&m),
+            fingerprint(&baseline),
+            "threads={threads} shards={shards} diverged on boundary-straddling stream"
+        );
+    }
+}
