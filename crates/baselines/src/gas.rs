@@ -223,6 +223,7 @@ mod tests {
                 oracle: &Line,
                 weights: CostWeights::default(),
                 exec: &watter_core::Exec::sequential(),
+                effects: &mut Vec::new(),
             };
             d.on_arrival(order(0, 0, 10, 0), &mut ctx);
             d.on_arrival(order(1, 2, 8, 0), &mut ctx);
@@ -235,6 +236,7 @@ mod tests {
                 oracle: &Line,
                 weights: CostWeights::default(),
                 exec: &watter_core::Exec::sequential(),
+                effects: &mut Vec::new(),
             };
             d.on_check(&mut ctx);
         }
@@ -260,6 +262,7 @@ mod tests {
                 oracle: &Line,
                 weights: CostWeights::default(),
                 exec: &watter_core::Exec::sequential(),
+                effects: &mut Vec::new(),
             };
             d.on_arrival(order(0, 0, 10, 0), &mut ctx);
         }
@@ -271,6 +274,7 @@ mod tests {
             oracle: &Line,
             weights: CostWeights::default(),
             exec: &watter_core::Exec::sequential(),
+            effects: &mut Vec::new(),
         };
         d.on_check(&mut ctx);
         assert_eq!(m.rejected_orders, 1);

@@ -9,7 +9,7 @@
 //! bookkeeping.
 
 use crate::insertion::Schedule;
-use watter_core::{OrderOutcome, Worker};
+use watter_core::Worker;
 use watter_sim::{Dispatcher, SimCtx};
 
 /// GDP parameters.
@@ -70,17 +70,10 @@ impl Dispatcher for GdpDispatcher {
             Some((wi, ins)) => {
                 // Served: GDP notifies instantly (response ≈ 0); the detour
                 // is the gap between the promised drop-off ETA and the
-                // ideal release + direct trip.
+                // ideal release + direct trip. No worker in the effect: GDP
+                // routes via its own schedules, not the engine fleet.
                 let detour = (ins.dropoff_eta - order.release - order.direct_cost).max(0);
-                ctx.measurements.record(
-                    &order,
-                    &OrderOutcome::Served {
-                        detour,
-                        response: order.response_at(ctx.now),
-                        group_size: 1,
-                    },
-                    ctx.weights,
-                );
+                ctx.record_served(&order, detour, 1, None);
                 ctx.measurements.record_worker_travel(ins.added_cost);
                 self.schedules[wi].apply_insertion(order, ins, ctx.now, &ctx.oracle);
             }
@@ -144,6 +137,7 @@ mod tests {
             oracle: &Line,
             weights: CostWeights::default(),
             exec: &watter_core::Exec::sequential(),
+            effects: &mut Vec::new(),
         };
         d.on_arrival(order(0, 2, 7, 0, 3.0), &mut ctx);
         assert_eq!(m.served_orders, 1);
@@ -160,6 +154,7 @@ mod tests {
             oracle: &Line,
             weights: CostWeights::default(),
             exec: &watter_core::Exec::sequential(),
+            effects: &mut Vec::new(),
         };
         // worker 1000 s away; deadline only allows 1.2× direct (120 s)
         d.on_arrival(order(0, 2, 7, 0, 1.2), &mut ctx);
@@ -177,6 +172,7 @@ mod tests {
                 oracle: &Line,
                 weights: CostWeights::default(),
                 exec: &watter_core::Exec::sequential(),
+                effects: &mut Vec::new(),
             };
             d.on_arrival(order(0, 0, 10, 0, 3.0), &mut ctx);
             d.on_arrival(order(1, 4, 6, 0, 5.0), &mut ctx);

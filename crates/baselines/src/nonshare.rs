@@ -6,7 +6,7 @@
 
 use std::collections::VecDeque;
 use watter_core::Order;
-use watter_sim::{Dispatcher, SimCtx};
+use watter_sim::{Dispatcher, DispatcherState, SimCtx, SnapshotDispatcher, SnapshotError};
 
 /// First-come-first-served solo dispatcher.
 #[derive(Default)]
@@ -55,6 +55,26 @@ impl Dispatcher for NonSharingDispatcher {
     }
 }
 
+impl SnapshotDispatcher for NonSharingDispatcher {
+    fn save_state(&self) -> DispatcherState {
+        DispatcherState::Queue {
+            orders: self.queue.iter().cloned().collect(),
+        }
+    }
+
+    fn load_state(&mut self, state: &DispatcherState) -> Result<(), SnapshotError> {
+        match state {
+            DispatcherState::Queue { orders } => {
+                self.queue = orders.iter().cloned().collect();
+                Ok(())
+            }
+            _ => Err(SnapshotError::DispatcherMismatch {
+                expected: "FIFO queue",
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +117,7 @@ mod tests {
                 oracle: &Line,
                 weights: CostWeights::default(),
                 exec: &watter_core::Exec::sequential(),
+                effects: &mut Vec::new(),
             };
             d.on_arrival(order(0, 0, 5, 0), &mut ctx);
             d.on_arrival(order(1, 5, 9, 0), &mut ctx);
@@ -111,6 +132,7 @@ mod tests {
             oracle: &Line,
             weights: CostWeights::default(),
             exec: &watter_core::Exec::sequential(),
+            effects: &mut Vec::new(),
         };
         d.on_check(&mut ctx);
         assert_eq!(m.served_orders, 2);
@@ -134,6 +156,7 @@ mod tests {
                 oracle: &Line,
                 weights: CostWeights::default(),
                 exec: &watter_core::Exec::sequential(),
+                effects: &mut Vec::new(),
             };
             d.on_arrival(order(0, 0, 5, 0), &mut ctx);
         }
@@ -144,6 +167,7 @@ mod tests {
             oracle: &Line,
             weights: CostWeights::default(),
             exec: &watter_core::Exec::sequential(),
+            effects: &mut Vec::new(),
         };
         d.on_check(&mut ctx);
         assert_eq!(m.rejected_orders, 1);

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! `exp` ∈ {example1, fig3, fig4, fig5, fig6, eta, dt, grid, omega,
-//! ablations, oracle, pool, all};
+//! ablations, kpis, oracle, pool, all};
 //! `scale` shrinks order/worker counts (default 1.0). Results are printed
 //! as tables and written to `results/<exp>.json`.
 //!
@@ -113,6 +113,39 @@ fn pool(side: usize) {
     eprintln!("[pool] -> results/pool_scale.json");
 }
 
+fn kpis(scale: f64) {
+    println!("\n## KPI study: service-operations view per (city, algorithm)");
+    println!(
+        "{:<5} {:<22} {:>8} {:>9} {:>9} {:>8} {:>10} {:>8} {:>8}",
+        "city",
+        "algorithm",
+        "serve(%)",
+        "extraP50",
+        "extraP90",
+        "util(%)",
+        "tickP99µs",
+        "checks",
+        "peakQ"
+    );
+    let rows = experiments::kpi_study(scale);
+    for r in &rows {
+        println!(
+            "{:<5} {:<22} {:>8.1} {:>9.0} {:>9.0} {:>8.1} {:>10.1} {:>8} {:>8}",
+            r.city,
+            r.algorithm,
+            r.report.service_rate_pct,
+            r.report.extra_time_s.p50,
+            r.report.extra_time_s.p90,
+            r.report.fleet_utilization_pct,
+            r.report.tick_latency_us.p99,
+            r.report.checks,
+            r.report.peak_pending
+        );
+    }
+    write_json(&results_path("kpis"), &rows).expect("write results");
+    eprintln!("[kpis] -> results/kpis.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let exp = args.get(1).map(|s| s.as_str()).unwrap_or("all");
@@ -142,6 +175,7 @@ fn main() {
             experiments::appendix_grid(scale)
         }),
         "omega" => omega(scale),
+        "kpis" => kpis(scale),
         "oracle" => oracle(),
         "pool" => pool(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(320)),
         "ablations" => run_figure(
@@ -178,10 +212,11 @@ fn main() {
                 "Ablations: clique fan-out, demand correlation, cancellation",
                 || experiments::ablations(scale),
             );
+            kpis(scale);
             oracle();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|oracle|pool|all");
+            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|kpis|oracle|pool|all");
             std::process::exit(2);
         }
     }

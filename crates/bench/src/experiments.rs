@@ -549,6 +549,48 @@ pub fn pool_scale_study(city_side: usize) -> Vec<PoolScaleRow> {
     rows
 }
 
+/// One row of the KPI study: the operational report of a
+/// (city, algorithm) run — the service-operations view
+/// (`reproduce -- kpis`), complementing the paper's four headline
+/// metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KpiRow {
+    /// City tag (NYC/CDC/XIA).
+    pub city: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The full KPI report (distributions, utilization, backlog marks).
+    pub report: KpiReport,
+}
+
+/// KPI study (`reproduce -- kpis [scale]`): run the untrained algorithms
+/// on each profile through the batch driver and report the KPI surface —
+/// extra-time distribution, fleet utilization, dispatch-latency
+/// percentiles, backlog high-water marks.
+pub fn kpi_study(scale: f64) -> Vec<KpiRow> {
+    use watter::runner::{run_full, DriveMode};
+    let mut rows = Vec::new();
+    for profile in CityProfile::ALL {
+        let scenario = Scenario::build(scaled_params(profile, scale));
+        for algo in [
+            Algo::Gdp,
+            Algo::NonSharing,
+            Algo::WatterOnline,
+            Algo::WatterTimeout,
+        ] {
+            let name = algo.name();
+            let out = run_full(&scenario, algo, DriveMode::Batch)
+                .expect("batch mode is supported by every algorithm");
+            rows.push(KpiRow {
+                city: profile.tag().to_string(),
+                algorithm: name.to_string(),
+                report: out.kpis.report(&out.measurements),
+            });
+        }
+    }
+    rows
+}
+
 /// Example 1 (Figure 1 + Table I): the worked 6-node example.
 pub mod example1 {
     use watter::prelude::*;

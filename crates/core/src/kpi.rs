@@ -1,0 +1,276 @@
+//! Operational KPIs of a dispatch run.
+//!
+//! [`Measurements`](crate::Measurements) accumulates the paper's four
+//! headline metrics; this module adds the *service-operations* view a
+//! dispatch daemon would export (the shape kern's `stats.rs`/`kpis.sql`
+//! surface takes): service rate, the **distribution** of per-order extra
+//! time rather than only its sum, fleet utilization over the observed
+//! span, and per-check dispatch-latency percentiles.
+//!
+//! [`Kpis`] is the raw accumulator the dispatch core feeds as it applies
+//! events; it is serde-serializable so snapshots carry it. [`KpiReport`]
+//! is the derived, report-ready summary (CLI `--kpis json`, `reproduce`).
+//!
+//! Determinism: everything in [`Kpis`] except `tick_nanos` is a pure
+//! function of the event stream. `tick_nanos` is wall-clock measurement
+//! noise — [`Kpis::without_timing`] strips it for bit-identity
+//! comparisons, mirroring how `Measurements::decision_nanos` is treated.
+
+use crate::metrics::Measurements;
+use crate::time::Ts;
+use serde::{Deserialize, Serialize};
+
+/// Raw KPI accumulator, updated by the dispatch core per applied event.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Kpis {
+    /// Number of workers in the fleet.
+    pub fleet_size: u64,
+    /// Periodic checks executed.
+    pub checks: u64,
+    /// Realized extra time (α·detour + β·response) per served order, in
+    /// service order.
+    pub extra_times: Vec<f64>,
+    /// Wall-clock nanoseconds of dispatcher work per check tick (the only
+    /// non-deterministic field; see [`Kpis::without_timing`]).
+    pub tick_nanos: Vec<u64>,
+    /// High-water mark of orders pending inside the dispatcher.
+    pub peak_pending: u64,
+    /// High-water mark of arrivals buffered ahead of delivery.
+    pub peak_buffered: u64,
+    /// Timestamp of the first applied event, if any.
+    pub first_event: Option<Ts>,
+    /// Timestamp of the last applied event.
+    pub last_event: Ts,
+}
+
+impl Kpis {
+    /// Accumulator for a fleet of `fleet_size` workers.
+    pub fn new(fleet_size: usize) -> Self {
+        Self {
+            fleet_size: fleet_size as u64,
+            ..Self::default()
+        }
+    }
+
+    /// Note that an event was applied at `at`.
+    pub fn note_event(&mut self, at: Ts) {
+        if self.first_event.is_none() {
+            self.first_event = Some(at);
+        }
+        self.last_event = at;
+    }
+
+    /// Record a served order's realized extra time.
+    pub fn record_extra(&mut self, extra: f64) {
+        self.extra_times.push(extra);
+    }
+
+    /// Record the dispatcher wall time of one check tick.
+    pub fn record_tick(&mut self, nanos: u64) {
+        self.checks += 1;
+        self.tick_nanos.push(nanos);
+    }
+
+    /// Update the backlog high-water marks.
+    pub fn note_backlog(&mut self, pending: usize, buffered: usize) {
+        self.peak_pending = self.peak_pending.max(pending as u64);
+        self.peak_buffered = self.peak_buffered.max(buffered as u64);
+    }
+
+    /// Copy with the wall-clock tick latencies stripped: two runs of the
+    /// same scenario must be **equal** under this view (the determinism
+    /// contract), while `tick_nanos` legitimately differs run to run.
+    pub fn without_timing(&self) -> Self {
+        Self {
+            tick_nanos: Vec::new(),
+            ..self.clone()
+        }
+    }
+
+    /// Seconds between the first and last applied event.
+    pub fn span_seconds(&self) -> f64 {
+        match self.first_event {
+            Some(first) => (self.last_event - first).max(0) as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Derive the report-ready summary. `measurements` supplies the
+    /// outcome counts and total worker-travel seconds.
+    pub fn report(&self, measurements: &Measurements) -> KpiReport {
+        let fleet_seconds = self.fleet_size as f64 * self.span_seconds();
+        let busy = measurements.worker_travel;
+        let tick_us: Vec<f64> = self.tick_nanos.iter().map(|&n| n as f64 / 1e3).collect();
+        KpiReport {
+            total_orders: measurements.total_orders,
+            served_orders: measurements.served_orders,
+            rejected_orders: measurements.rejected_orders,
+            service_rate_pct: 100.0 * measurements.service_rate(),
+            extra_time_s: Dist::from_samples(&self.extra_times),
+            tick_latency_us: Dist::from_samples(&tick_us),
+            checks: self.checks,
+            peak_pending: self.peak_pending,
+            peak_buffered: self.peak_buffered,
+            fleet_size: self.fleet_size,
+            span_s: self.span_seconds(),
+            busy_s: busy,
+            // Fraction of fleet-time spent driving within the observed
+            // span. Routes extending past the last event can push this
+            // over 100% — reported raw, not clamped.
+            fleet_utilization_pct: if fleet_seconds > 0.0 {
+                100.0 * busy / fleet_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Summary statistics of a sample set (nearest-rank percentiles).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dist {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Dist {
+    /// Summarize `samples` (order-independent; copies and sorts).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Self {
+            count: sorted.len() as u64,
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile(&sorted, 50.0),
+            p90: percentile(&sorted, 90.0),
+            p99: percentile(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Report-ready KPI summary of one run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KpiReport {
+    /// Orders that reached a terminal outcome.
+    pub total_orders: u64,
+    /// Orders served.
+    pub served_orders: u64,
+    /// Orders rejected.
+    pub rejected_orders: u64,
+    /// `100 × served / total` (0 when no orders).
+    pub service_rate_pct: f64,
+    /// Distribution of per-served-order extra time, seconds.
+    pub extra_time_s: Dist,
+    /// Distribution of per-check dispatcher wall time, microseconds.
+    pub tick_latency_us: Dist,
+    /// Periodic checks executed.
+    pub checks: u64,
+    /// High-water mark of orders pending inside the dispatcher.
+    pub peak_pending: u64,
+    /// High-water mark of buffered (undelivered) arrivals.
+    pub peak_buffered: u64,
+    /// Number of workers.
+    pub fleet_size: u64,
+    /// Seconds between first and last applied event.
+    pub span_s: f64,
+    /// Total worker driving seconds.
+    pub busy_s: f64,
+    /// `100 × busy / (fleet_size × span)`; may exceed 100 when routes
+    /// extend past the last event.
+    pub fleet_utilization_pct: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 50.0), 50.0);
+        assert_eq!(percentile(&s, 90.0), 90.0);
+        assert_eq!(percentile(&s, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn dist_is_sample_order_independent() {
+        let a = Dist::from_samples(&[3.0, 1.0, 2.0]);
+        let b = Dist::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.mean, 2.0);
+        assert_eq!(a.max, 3.0);
+    }
+
+    #[test]
+    fn empty_run_reports_zeros() {
+        let k = Kpis::new(5);
+        let r = k.report(&Measurements::default());
+        assert_eq!(r.total_orders, 0);
+        assert_eq!(r.service_rate_pct, 0.0);
+        assert_eq!(r.span_s, 0.0);
+        assert_eq!(r.fleet_utilization_pct, 0.0);
+        assert_eq!(r.extra_time_s, Dist::default());
+    }
+
+    #[test]
+    fn utilization_over_observed_span() {
+        let mut k = Kpis::new(2);
+        k.note_event(100);
+        k.note_event(200); // span 100 s, 2 workers ⇒ 200 fleet-seconds
+        let mut m = Measurements::default();
+        m.record_worker_travel(50);
+        let r = k.report(&m);
+        assert_eq!(r.span_s, 100.0);
+        assert_eq!(r.fleet_utilization_pct, 25.0);
+    }
+
+    #[test]
+    fn without_timing_strips_only_tick_nanos() {
+        let mut k = Kpis::new(1);
+        k.note_event(7);
+        k.record_extra(3.5);
+        k.record_tick(12_345);
+        k.note_backlog(4, 9);
+        let stripped = k.without_timing();
+        assert!(stripped.tick_nanos.is_empty());
+        assert_eq!(stripped.checks, 1);
+        assert_eq!(stripped.extra_times, vec![3.5]);
+        assert_eq!(stripped.peak_pending, 4);
+        assert_eq!(stripped.peak_buffered, 9);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut k = Kpis::new(3);
+        k.note_event(5);
+        k.record_extra(1.25);
+        k.record_tick(999);
+        let text = serde_json::to_string(&k).expect("serialize");
+        let back: Kpis = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, k);
+    }
+}

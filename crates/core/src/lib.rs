@@ -28,6 +28,7 @@ pub mod env;
 pub mod error;
 pub mod group;
 pub mod ids;
+pub mod kpi;
 pub mod metrics;
 pub mod objective;
 pub mod oracle;
@@ -42,6 +43,7 @@ pub use env::EnvSnapshot;
 pub use error::CoreError;
 pub use group::{Group, GroupQuality};
 pub use ids::{NodeId, OrderId, WorkerId};
+pub use kpi::{Dist, KpiReport, Kpis};
 pub use metrics::{Measurements, OrderOutcome, RunStats};
 pub use objective::{extra_time, CostWeights};
 pub use oracle::{OracleKind, DEFAULT_LANDMARKS, DENSE_NODE_LIMIT};

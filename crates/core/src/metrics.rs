@@ -35,7 +35,7 @@ pub enum OrderOutcome {
 }
 
 /// Accumulates the paper's four measurements over a simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Measurements {
     /// METRS objective accumulator.
     pub objective: Objective,
@@ -147,6 +147,18 @@ impl Measurements {
             0.0
         } else {
             self.objective.served_extra / self.served_orders as f64
+        }
+    }
+
+    /// Copy with the wall-clock decision time zeroed. Decision time is the
+    /// one field that legitimately varies run to run; every other field is
+    /// a pure function of the scenario, so two runs of the same seed must
+    /// be **equal** under this view (the determinism contract the
+    /// snapshot/streaming equivalence tests enforce).
+    pub fn without_timing(&self) -> Self {
+        Self {
+            decision_nanos: 0,
+            ..self.clone()
         }
     }
 

@@ -22,6 +22,8 @@ use crate::cliques::{all_groups_for_par, best_group_for, best_group_for_par, Cli
 use crate::planner::PlanLimits;
 use crate::shard::ShardMap;
 use crate::share_graph::{PairEdge, ShareGraph};
+use crate::snapshot::{BestSnapshot, EdgeSnapshot, PoolSnapshot, RestoreError};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use watter_core::{CostWeights, Exec, Group, Order, OrderId, TravelBound, Ts};
@@ -38,7 +40,7 @@ pub struct PoolConfig {
 }
 
 /// Counters exposed for diagnostics and benches.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoolStats {
     /// Orders inserted over the pool's lifetime.
     pub inserted: u64,
@@ -447,6 +449,108 @@ impl OrderPool {
         }
     }
 
+    /// Serialize the pool's complete state: pooled orders, live edges and
+    /// the best-group map, plus the lifetime counters. Derived structures
+    /// (spatial buckets, shard membership, the `contained_in` reverse
+    /// index) are rebuilt by [`OrderPool::restore`] instead.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            orders: self.graph.orders().cloned().collect(),
+            edges: self
+                .graph
+                .edges()
+                .map(|(a, b, e)| EdgeSnapshot {
+                    a,
+                    b,
+                    expires_at: e.expires_at,
+                    route_cost: e.route_cost,
+                })
+                .collect(),
+            best: self
+                .best
+                .iter()
+                .map(|(&id, g)| BestSnapshot {
+                    id,
+                    members: g.order_ids().collect(),
+                    route: g.route.clone(),
+                    detours: g.detours.clone(),
+                })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Replace this pool's state with `snap`'s. The pool's *configuration*
+    /// (planner limits, weights, spatial pruning, shard layout, executor)
+    /// is kept as built — a snapshot restores into a pool configured the
+    /// same way it was taken from, which the engine-level
+    /// [`restore`](crate::snapshot) path guarantees by reconstructing the
+    /// dispatcher from the run's own config first.
+    pub fn restore(&mut self, snap: &PoolSnapshot) -> Result<(), RestoreError> {
+        let handles: BTreeMap<OrderId, Arc<Order>> = snap
+            .orders
+            .iter()
+            .map(|o| (o.id, Arc::new(o.clone())))
+            .collect();
+        for e in &snap.edges {
+            for id in [e.a, e.b] {
+                if !handles.contains_key(&id) {
+                    return Err(RestoreError::MissingOrder(id));
+                }
+            }
+        }
+        let edges: Vec<(OrderId, OrderId, PairEdge)> = snap
+            .edges
+            .iter()
+            .map(|e| {
+                (
+                    e.a,
+                    e.b,
+                    PairEdge {
+                        expires_at: e.expires_at,
+                        route_cost: e.route_cost,
+                    },
+                )
+            })
+            .collect();
+        self.graph
+            .restore_from_parts(handles.values().cloned().collect(), &edges);
+        if let Some(st) = &mut self.shards {
+            for slot in &mut st.members {
+                slot.clear();
+            }
+            for o in handles.values() {
+                let home = st.map.shard_of(o.pickup);
+                st.members[home].insert(o.id);
+            }
+        }
+        self.best.clear();
+        self.contained_in.clear();
+        for b in &snap.best {
+            if b.detours.len() != b.members.len() {
+                return Err(RestoreError::MalformedGroup(b.id));
+            }
+            let members: Result<Vec<Arc<Order>>, RestoreError> = b
+                .members
+                .iter()
+                .map(|m| {
+                    handles
+                        .get(m)
+                        .cloned()
+                        .ok_or(RestoreError::MissingOrder(*m))
+                })
+                .collect();
+            let group = Group {
+                orders: members?,
+                route: b.route.clone(),
+                detours: b.detours.clone(),
+            };
+            self.link_best(b.id, group);
+        }
+        self.stats = snap.stats;
+        Ok(())
+    }
+
     fn link_best(&mut self, id: OrderId, g: Group) {
         for m in g.order_ids() {
             self.contained_in.entry(m).or_default().insert(id);
@@ -691,6 +795,87 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Fingerprint for state-identity checks: orders, edges, best groups
+    /// (members + exact route cost + detours) and counters.
+    #[allow(clippy::type_complexity)]
+    fn fingerprint(
+        p: &OrderPool,
+    ) -> (
+        Vec<OrderId>,
+        Vec<(OrderId, OrderId, Ts, Dur)>,
+        Vec<(OrderId, Vec<OrderId>, Dur, Vec<Dur>)>,
+        Vec<(Ts, OrderId)>,
+        PoolStats,
+    ) {
+        let mut edges: Vec<_> = p
+            .graph()
+            .edges()
+            .map(|(a, b, e)| (a, b, e.expires_at, e.route_cost))
+            .collect();
+        edges.sort();
+        let mut best: Vec<_> = p
+            .orders()
+            .filter_map(|o| {
+                p.best_group(o.id).map(|g| {
+                    (
+                        o.id,
+                        g.order_ids().collect::<Vec<_>>(),
+                        g.route.cost(),
+                        g.detours.clone(),
+                    )
+                })
+            })
+            .collect();
+        best.sort();
+        (
+            p.orders().map(|o| o.id).collect(),
+            edges,
+            best,
+            p.proposals(),
+            p.stats(),
+        )
+    }
+
+    /// snapshot → JSON → restore reproduces the pool state exactly,
+    /// including a best group kept by the `offer_group` tie rule that a
+    /// rebuild-by-reinsert would not recover.
+    #[test]
+    fn snapshot_json_round_trip_restores_state() {
+        let mut p = pool();
+        p.insert(order(0, 0, 10, 10_000), 0, &Line);
+        p.insert(order(1, 2, 8, 10_000), 0, &Line);
+        p.insert(order(2, 1, 9, 10_000), 5, &Line);
+        p.insert(order(3, 4, 20, 10_000), 5, &Line);
+        p.remove_orders(&[OrderId(3)], 9, &Line);
+
+        let snap = p.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: PoolSnapshot = serde_json::from_str(&json).expect("deserialize");
+
+        let mut q = pool();
+        q.restore(&back).expect("restore");
+        assert_eq!(fingerprint(&q), fingerprint(&p));
+
+        // The restored pool keeps evolving identically.
+        p.insert(order(4, 3, 7, 10_000), 12, &Line);
+        q.insert(order(4, 3, 7, 10_000), 12, &Line);
+        p.maintain(15, &Line);
+        q.maintain(15, &Line);
+        assert_eq!(fingerprint(&q), fingerprint(&p));
+    }
+
+    /// Restore rejects snapshots whose groups reference unknown orders.
+    #[test]
+    fn restore_rejects_dangling_references() {
+        let mut p = pool();
+        p.insert(order(0, 0, 10, 10_000), 0, &Line);
+        p.insert(order(1, 2, 8, 10_000), 0, &Line);
+        let mut snap = p.snapshot();
+        snap.orders.retain(|o| o.id != OrderId(1));
+        let mut q = pool();
+        assert!(q.restore(&snap).is_err());
     }
 
     /// The canonical proposal sweep is `(release, id)` ascending no matter

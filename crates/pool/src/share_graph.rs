@@ -9,12 +9,13 @@
 
 use crate::planner::{plan_min_cost, PlanLimits};
 use crate::spatial::SpatialPrune;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use watter_core::{Dur, Group, Order, OrderId, TravelBound, Ts};
 
 /// A shareability edge between two pooled orders.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PairEdge {
     /// Latest dispatch instant at which the pair is still jointly feasible
     /// (`τ_e` of Definition 8; inclusive).
@@ -313,6 +314,51 @@ impl ShareGraph {
             }
         }
         touched
+    }
+
+    /// Iterate over live edges, each undirected edge once as `(a, b, edge)`
+    /// with `a < b`, ascending — the canonical form snapshots store.
+    pub fn edges(&self) -> impl Iterator<Item = (OrderId, OrderId, PairEdge)> + '_ {
+        self.adj.iter().flat_map(|(&i, m)| {
+            m.iter()
+                .filter(move |(&j, _)| i < j)
+                .map(move |(&j, &e)| (i, j, e))
+        })
+    }
+
+    /// Rebuild the graph from snapshot parts: replaces the order set and
+    /// adjacency wholesale and re-derives the spatial insert-prune buckets
+    /// (when configured) from the restored orders. The pruning *setup*
+    /// (grid, cost bound) is configuration, not state — it is kept as
+    /// built.
+    ///
+    /// `edges` must reference orders present in `orders`; the caller
+    /// ([`crate::OrderPool::restore`]) validates this.
+    pub fn restore_from_parts(
+        &mut self,
+        orders: Vec<Arc<Order>>,
+        edges: &[(OrderId, OrderId, PairEdge)],
+    ) {
+        self.orders.clear();
+        self.adj.clear();
+        if let Some(st) = &mut self.spatial {
+            st.cells.clear();
+            st.latest_start.clear();
+        }
+        for o in orders {
+            if let Some(st) = &mut self.spatial {
+                st.track(&o);
+            }
+            self.orders.insert(o.id, o);
+        }
+        for &(a, b, e) in edges {
+            debug_assert!(
+                self.orders.contains_key(&a) && self.orders.contains_key(&b),
+                "edge ({a}, {b}) references an unpooled order"
+            );
+            self.adj.entry(a).or_default().insert(b, e);
+            self.adj.entry(b).or_default().insert(a, e);
+        }
     }
 
     /// Orders whose own solo feasibility has lapsed (cannot be served even

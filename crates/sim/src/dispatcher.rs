@@ -6,10 +6,12 @@
 //! variants). The GDP/GAS baselines implement the same trait in
 //! `watter-baselines`.
 
+use crate::core::Effect;
 use crate::env::build_env;
 use crate::fleet::Fleet;
+use crate::snapshot::{DispatcherState, SnapshotDispatcher, SnapshotError};
 use watter_core::{
-    CostWeights, DispatchParallelism, Exec, Group, Measurements, Order, OrderId, OrderOutcome,
+    CostWeights, DispatchParallelism, Dur, Exec, Group, Measurements, Order, OrderId, OrderOutcome,
     TravelBound, Ts, WorkerId,
 };
 use watter_pool::{OrderPool, PoolConfig, ShardMap, SpatialPrune};
@@ -35,6 +37,11 @@ pub struct SimCtx<'a> {
     /// one per run from [`crate::SimConfig::parallelism`]; dispatchers that
     /// construct a `SimCtx` by hand can use [`Exec::sequential`].
     pub exec: &'a Exec,
+    /// Effect sink: every terminal outcome recorded through this context
+    /// (served / rejected) is also appended here, so the dispatch core can
+    /// return it from `step` and feed the KPI accumulator. Tests driving a
+    /// dispatcher by hand can lend a throwaway `&mut Vec::new()`.
+    pub effects: &'a mut Vec<Effect>,
 }
 
 impl SimCtx<'_> {
@@ -57,15 +64,7 @@ impl SimCtx<'_> {
         self.measurements.record_worker_travel(travel);
         self.measurements.record_approach(approach);
         for (idx, order) in group.orders.iter().enumerate() {
-            self.measurements.record(
-                order,
-                &OrderOutcome::Served {
-                    detour: group.detours[idx],
-                    response: order.response_at(self.now),
-                    group_size: group.len() as u32,
-                },
-                self.weights,
-            );
+            self.record_served(order, group.detours[idx], group.len() as u32, Some(wid));
         }
         Some(wid)
     }
@@ -89,23 +88,50 @@ impl SimCtx<'_> {
         self.measurements.record_worker_travel(travel);
         self.measurements.record_approach(approach);
         for (idx, order) in group.orders.iter().enumerate() {
-            self.measurements.record(
-                order,
-                &OrderOutcome::Served {
-                    detour: group.detours[idx],
-                    response: order.response_at(self.now),
-                    group_size: group.len() as u32,
-                },
-                self.weights,
-            );
+            self.record_served(order, group.detours[idx], group.len() as u32, Some(wid));
         }
         true
+    }
+
+    /// Record a served outcome (measurements + effect). The central sink
+    /// every dispatch path funnels through — including baselines like GDP
+    /// that manage their own schedules instead of [`dispatch_group`]
+    /// (see [`SimCtx::dispatch_group`]) — so the effect stream the core
+    /// returns is complete regardless of the algorithm under test.
+    pub fn record_served(
+        &mut self,
+        order: &Order,
+        detour: Dur,
+        group_size: u32,
+        worker: Option<WorkerId>,
+    ) {
+        let response = order.response_at(self.now);
+        self.measurements.record(
+            order,
+            &OrderOutcome::Served {
+                detour,
+                response,
+                group_size,
+            },
+            self.weights,
+        );
+        self.effects.push(Effect::Served {
+            id: order.id,
+            at: self.now,
+            worker,
+            group_size,
+            extra: self.weights.extra_time(detour, response),
+        });
     }
 
     /// Record a rejection.
     pub fn reject(&mut self, order: &Order) {
         self.measurements
             .record(order, &OrderOutcome::Rejected, self.weights);
+        self.effects.push(Effect::Rejected {
+            id: order.id,
+            at: self.now,
+        });
     }
 
     /// Build a singleton group (direct pick-up → drop-off route) for solo
@@ -336,5 +362,26 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
 
     fn name(&self) -> String {
         self.policy.name().to_string()
+    }
+}
+
+impl<P: DecisionPolicy, O: PoolObserver> SnapshotDispatcher for WatterDispatcher<P, O> {
+    fn save_state(&self) -> DispatcherState {
+        DispatcherState::Watter {
+            pool: self.pool.snapshot(),
+        }
+    }
+
+    /// Replaces the pool's runtime state. Everything else on the
+    /// dispatcher (policy, grid, cancellation model, observer) is
+    /// construction-time configuration — the cancellation draws are
+    /// stateless hashes, so no RNG state needs restoring.
+    fn load_state(&mut self, state: &DispatcherState) -> Result<(), SnapshotError> {
+        match state {
+            DispatcherState::Watter { pool } => Ok(self.pool.restore(pool)?),
+            _ => Err(SnapshotError::DispatcherMismatch {
+                expected: "WATTER pool",
+            }),
+        }
     }
 }

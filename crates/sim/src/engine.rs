@@ -1,20 +1,35 @@
-//! The simulation event loop.
+//! Simulation drivers over the dispatch core.
 //!
-//! Interleaves order arrivals (sorted by release time) with the periodic
-//! asynchronous checks of Algorithm 1, timing the dispatcher's decision
-//! work to produce the paper's *Running Time* measurement. After the last
-//! arrival, checks continue until every order reached a terminal outcome or
-//! the drain horizon elapses.
+//! The event loop itself lives in [`crate::core::DispatchCore`]; this
+//! module provides the drivers that feed it:
+//!
+//! * [`run`] / [`run_with_kpis`] — the **batch driver**: queue a whole
+//!   scenario, close the stream, drain. Bit-identical to the
+//!   pre-refactor monolithic loop, which is preserved verbatim as
+//!   [`run_monolithic`] so the equivalence is a *testable* claim
+//!   (`tests/streaming.rs` proves it across all three city profiles);
+//! * [`run_stream`] — the **streaming driver**: orders flow through an
+//!   [`OrderIngest`] validation stage and interleave with due checks, so
+//!   the stream is never materialized, pre-sorted or pre-validated. For
+//!   a valid sorted stream the outcome equals the batch driver's (same
+//!   events in the same order).
+//!
+//! Timing: the dispatcher's wall-clock decision time per event feeds the
+//! paper's *Running Time* measurement; it is the one non-deterministic
+//! quantity (compare runs via `Measurements::without_timing`).
 
+use crate::core::{DispatchCore, Event};
 use crate::dispatcher::{Dispatcher, SimCtx};
 use crate::fleet::Fleet;
+use crate::ingest::{IngestConfig, IngestStats, OrderIngest};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use watter_core::{
-    CostWeights, DispatchParallelism, Dur, Exec, Measurements, Order, TravelBound, Ts, Worker,
+    CostWeights, DispatchParallelism, Dur, Exec, Kpis, Measurements, Order, TravelBound, Ts, Worker,
 };
 
 /// Engine parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Period of the asynchronous checks (the paper's Δt, default 10 s).
     pub check_period: Dur,
@@ -43,9 +58,101 @@ impl Default for SimConfig {
 
 /// Run `dispatcher` over the order stream and return the measurements.
 ///
-/// `orders` need not be sorted; the engine sorts by release time. The fleet
-/// is rebuilt from `workers`, so repeated runs are independent.
+/// `orders` need not be sorted; the core merges arrivals by
+/// `(release, id)`. The fleet is rebuilt from `workers`, so repeated runs
+/// are independent.
 pub fn run<D: Dispatcher>(
+    orders: Vec<Order>,
+    workers: Vec<Worker>,
+    dispatcher: &mut D,
+    oracle: &dyn TravelBound,
+    cfg: SimConfig,
+) -> Measurements {
+    run_with_kpis(orders, workers, dispatcher, oracle, cfg).0
+}
+
+/// [`run`], also returning the KPI accumulator.
+pub fn run_with_kpis<D: Dispatcher>(
+    orders: Vec<Order>,
+    workers: Vec<Worker>,
+    dispatcher: &mut D,
+    oracle: &dyn TravelBound,
+    cfg: SimConfig,
+) -> (Measurements, Kpis) {
+    let mut core = DispatchCore::new(workers, cfg);
+    for order in orders {
+        core.step(Event::Arrive(order), dispatcher, oracle);
+    }
+    core.step(Event::Close, dispatcher, oracle);
+    while !core.is_drained() {
+        core.step(Event::Check, dispatcher, oracle);
+    }
+    core.finish()
+}
+
+/// Outcome of a streamed run.
+#[derive(Clone, Debug)]
+pub struct StreamOutput {
+    /// The paper's measurements.
+    pub measurements: Measurements,
+    /// The KPI accumulator.
+    pub kpis: Kpis,
+    /// Ingest/validation counters.
+    pub ingest: IngestStats,
+}
+
+/// Stream `orders` through ingest validation into the dispatch core,
+/// running due checks between arrivals — the incremental front end a
+/// daemon would use. The stream is consumed lazily; it need not be
+/// sorted (the core merges arrivals) or pre-validated (ingest refuses
+/// malformed orders with typed errors, counted in
+/// [`StreamOutput::ingest`]).
+///
+/// A check due strictly before the next arrival's release runs first; an
+/// arrival releasing exactly at the next check instant is fed first,
+/// preserving the core's arrivals-before-check tie rule — which is why a
+/// valid sorted stream reproduces the batch driver's outcome exactly.
+pub fn run_stream<D, I>(
+    orders: I,
+    workers: Vec<Worker>,
+    dispatcher: &mut D,
+    oracle: &dyn TravelBound,
+    cfg: SimConfig,
+    ingest_cfg: IngestConfig,
+) -> StreamOutput
+where
+    D: Dispatcher,
+    I: IntoIterator<Item = Order>,
+{
+    let mut ingest = OrderIngest::new(ingest_cfg);
+    let mut core = DispatchCore::new(workers, cfg);
+    for raw in orders {
+        while !core.is_drained() && core.next_due().is_some_and(|due| due < raw.release) {
+            core.step(Event::Check, dispatcher, oracle);
+        }
+        if let Ok(order) = ingest.admit(raw, core.clock()) {
+            core.step(Event::Arrive(order), dispatcher, oracle);
+        }
+        ingest.observe_backlog(core.backlog() + dispatcher.pending());
+    }
+    core.step(Event::Close, dispatcher, oracle);
+    while !core.is_drained() {
+        core.step(Event::Check, dispatcher, oracle);
+    }
+    let (measurements, kpis) = core.finish();
+    StreamOutput {
+        measurements,
+        kpis,
+        ingest: ingest.stats(),
+    }
+}
+
+/// The pre-refactor monolithic event loop, preserved as the reference
+/// implementation the core-driven [`run`] is proven bit-identical
+/// against (`tests/streaming.rs`). Not for new callers — it exists so
+/// the equivalence stays an enforced test rather than a changelog claim.
+#[doc(hidden)]
+pub fn run_monolithic<D: Dispatcher>(
     mut orders: Vec<Order>,
     workers: Vec<Worker>,
     dispatcher: &mut D,
@@ -56,6 +163,7 @@ pub fn run<D: Dispatcher>(
     orders.sort_by_key(|o| (o.release, o.id));
     let mut fleet = Fleet::new(workers);
     let mut measurements = Measurements::default();
+    let mut effects = Vec::new();
     let exec = Exec::from_parallelism(cfg.parallelism);
 
     let first_release = orders.first().map(|o| o.release).unwrap_or(0);
@@ -86,10 +194,12 @@ pub fn run<D: Dispatcher>(
                     oracle,
                     weights: cfg.weights,
                     exec: &exec,
+                    effects: &mut effects,
                 };
                 let t0 = Instant::now();
                 dispatcher.on_arrival(order, &mut ctx);
                 measurements.record_decision_time(t0.elapsed().as_nanos());
+                effects.clear();
             }
         } else {
             let mut ctx = SimCtx {
@@ -99,10 +209,12 @@ pub fn run<D: Dispatcher>(
                 oracle,
                 weights: cfg.weights,
                 exec: &exec,
+                effects: &mut effects,
             };
             let t0 = Instant::now();
             dispatcher.on_check(&mut ctx);
             measurements.record_decision_time(t0.elapsed().as_nanos());
+            effects.clear();
             next_check += cfg.check_period;
             // Drained: all arrivals delivered and nothing pending.
             if arrivals.peek().is_none() && dispatcher.pending() == 0 {
@@ -116,6 +228,7 @@ pub fn run<D: Dispatcher>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::core::Effect;
     use watter_core::{NodeId, OrderId, OrderOutcome, WorkerId};
 
     use watter_core::TravelCost;
@@ -150,6 +263,31 @@ mod tests {
 
         fn name(&self) -> String {
             "immediate".into()
+        }
+    }
+
+    /// Records the interleaving of arrivals and checks.
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(char, Ts)>,
+    }
+
+    impl Dispatcher for Recorder {
+        fn on_arrival(&mut self, order: Order, ctx: &mut SimCtx<'_>) {
+            self.log.push(('a', ctx.now));
+            ctx.reject(&order); // resolve immediately so the run drains
+        }
+
+        fn on_check(&mut self, ctx: &mut SimCtx<'_>) {
+            self.log.push(('c', ctx.now));
+        }
+
+        fn pending(&self) -> usize {
+            0
+        }
+
+        fn name(&self) -> String {
+            "recorder".into()
         }
     }
 
@@ -194,16 +332,160 @@ mod tests {
     }
 
     #[test]
-    fn empty_order_stream_is_fine() {
+    fn empty_order_stream_returns_pristine_measurements() {
+        // Edge case: an empty stream must resolve at close with *exactly*
+        // the default measurements — no synthetic check ticks, no decision
+        // time (the monolithic loop used to run one check off the
+        // `first_release = 0` fallback).
         let mut d = Immediate { pending: 0 };
-        let m = run(
+        let (m, k) = run_with_kpis(
             vec![],
             vec![Worker::new(WorkerId(0), NodeId(0), 4)],
             &mut d,
             &Line,
             SimConfig::default(),
         );
-        assert_eq!(m.total_orders, 0);
+        assert_eq!(m, Measurements::default());
+        assert_eq!(k.checks, 0);
+        assert_eq!(k.first_event, None);
+    }
+
+    #[test]
+    fn zero_worker_fleet_with_no_orders_is_pristine() {
+        let mut d = Immediate { pending: 0 };
+        let (m, k) = run_with_kpis(vec![], vec![], &mut d, &Line, SimConfig::default());
+        assert_eq!(m, Measurements::default());
+        assert_eq!(k.fleet_size, 0);
+        assert_eq!(k.checks, 0);
+    }
+
+    #[test]
+    fn zero_worker_fleet_rejects_everything_cleanly() {
+        let orders = vec![order(0, 0, 5, 0), order(1, 2, 9, 30)];
+        let mut d = Immediate { pending: 0 };
+        let m = run(orders, vec![], &mut d, &Line, SimConfig::default());
+        assert_eq!(m.total_orders, 2);
+        assert_eq!(m.rejected_orders, 2);
+        assert_eq!(m.served_orders, 0);
+        assert_eq!(m.worker_travel, 0.0);
+    }
+
+    /// The documented tie rule: an arrival releasing at exactly the next
+    /// check instant is delivered *before* that check runs.
+    #[test]
+    fn arrival_at_check_instant_processed_before_the_check() {
+        // First release 0 ⇒ checks at 10, 20, ...; the second order
+        // releases exactly at the first check instant.
+        let orders = vec![order(0, 0, 5, 0), order(1, 2, 9, 10)];
+        let mut d = Recorder::default();
+        run(
+            orders.clone(),
+            vec![Worker::new(WorkerId(0), NodeId(0), 4)],
+            &mut d,
+            &Line,
+            SimConfig::default(),
+        );
+        assert_eq!(d.log, vec![('a', 0), ('a', 10), ('c', 10)]);
+        // And the monolithic reference loop agrees.
+        let mut dm = Recorder::default();
+        run_monolithic(
+            orders,
+            vec![Worker::new(WorkerId(0), NodeId(0), 4)],
+            &mut dm,
+            &Line,
+            SimConfig::default(),
+        );
+        assert_eq!(dm.log, vec![('a', 0), ('a', 10), ('c', 10)]);
+    }
+
+    /// The same tie rule observed through the core's effect stream.
+    #[test]
+    fn tie_effects_order_admitted_before_checked() {
+        let mut core = DispatchCore::new(
+            vec![Worker::new(WorkerId(0), NodeId(0), 4)],
+            SimConfig::default(),
+        );
+        let mut d = Recorder::default();
+        core.step(Event::Arrive(order(0, 0, 5, 0)), &mut d, &Line);
+        core.step(Event::Arrive(order(1, 2, 9, 10)), &mut d, &Line);
+        let fx = core.step(Event::Check, &mut d, &Line);
+        let kinds: Vec<&'static str> = fx
+            .iter()
+            .map(|e| match e {
+                Effect::Admitted { .. } => "admitted",
+                Effect::Rejected { .. } => "rejected",
+                Effect::Checked { .. } => "checked",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["admitted", "rejected", "admitted", "rejected", "checked"]
+        );
+        assert!(matches!(fx[4], Effect::Checked { at: 10, .. }));
+    }
+
+    #[test]
+    fn stale_and_post_close_arrivals_are_refused() {
+        use crate::core::RefuseReason;
+        let mut core = DispatchCore::new(
+            vec![Worker::new(WorkerId(0), NodeId(0), 4)],
+            SimConfig::default(),
+        );
+        let mut d = Recorder::default();
+        core.step(Event::Arrive(order(0, 0, 5, 0)), &mut d, &Line);
+        core.step(Event::Check, &mut d, &Line); // clock advances to 10
+        let fx = core.step(Event::Arrive(order(1, 2, 9, 3)), &mut d, &Line);
+        assert_eq!(
+            fx,
+            vec![Effect::Refused {
+                id: OrderId(1),
+                release: 3,
+                reason: RefuseReason::Stale
+            }]
+        );
+        core.step(Event::Close, &mut d, &Line);
+        let fx = core.step(Event::Arrive(order(2, 2, 9, 99)), &mut d, &Line);
+        assert_eq!(
+            fx,
+            vec![Effect::Refused {
+                id: OrderId(2),
+                release: 99,
+                reason: RefuseReason::Closed
+            }]
+        );
+    }
+
+    #[test]
+    fn streamed_run_matches_batch_run() {
+        let orders: Vec<Order> = (0..12u32)
+            .map(|i| order(i, i % 7, (i * 3 + 1) % 9, (i as i64) * 7))
+            .filter(|o| o.direct_cost > 0)
+            .collect();
+        let workers = vec![
+            Worker::new(WorkerId(0), NodeId(0), 4),
+            Worker::new(WorkerId(1), NodeId(8), 4),
+        ];
+        let mut db = Immediate { pending: 0 };
+        let batch = run(
+            orders.clone(),
+            workers.clone(),
+            &mut db,
+            &Line,
+            SimConfig::default(),
+        );
+        let mut ds = Immediate { pending: 0 };
+        let out = run_stream(
+            orders,
+            workers,
+            &mut ds,
+            &Line,
+            SimConfig::default(),
+            IngestConfig::default(),
+        );
+        assert_eq!(out.measurements.without_timing(), batch.without_timing());
+        assert_eq!(out.ingest.rejected, 0);
+        assert!(out.ingest.admitted > 0);
     }
 
     #[test]

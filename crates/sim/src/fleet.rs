@@ -145,6 +145,25 @@ impl Fleet {
         .map(|(_, id)| id)
     }
 
+    /// Capture the fleet's serializable state.
+    pub fn snapshot(&self) -> crate::snapshot::FleetSnapshot {
+        crate::snapshot::FleetSnapshot {
+            workers: self.workers.clone(),
+            locations: self.state.iter().map(|s| s.loc).collect(),
+            busy_until: self.state.iter().map(|s| s.busy_until).collect(),
+        }
+    }
+
+    /// Overwrite runtime state from a snapshot taken of this roster.
+    /// Callers validate vector alignment (`DispatchCore::restore`).
+    pub(crate) fn restore_state(&mut self, snap: &crate::snapshot::FleetSnapshot) {
+        debug_assert_eq!(self.workers.len(), snap.locations.len());
+        for (i, s) in self.state.iter_mut().enumerate() {
+            s.loc = snap.locations[i];
+            s.busy_until = snap.busy_until[i];
+        }
+    }
+
     /// Mark a worker busy until `busy_until`, ending at `end_loc`.
     ///
     /// # Panics

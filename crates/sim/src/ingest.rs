@@ -1,0 +1,310 @@
+//! Streaming order ingest: the validation front end.
+//!
+//! [`OrderIngest`] sits between a raw order source and the dispatch core
+//! — the shape of angstrom's order-pool split (ingest → validation →
+//! pooled storage). Each submitted order passes a validation stage that
+//! rejects malformed, expired and out-of-bounds orders with typed
+//! [`IngestError`]s before they ever reach the core; per-reason counters
+//! and a backlog watermark accumulate in [`IngestStats`].
+//!
+//! Validation is *structural*: an order the simulator could process but
+//! would certainly reject (e.g. already unservable at its own release)
+//! is filtered here with [`IngestError::Expired`] rather than burning a
+//! pool insert. Orders produced by `watter-workload` scenarios satisfy
+//! every check (the generator asserts `deadline > release + direct`,
+//! positive direct cost, one rider), so streaming a scenario through
+//! ingest admits everything — which is what makes the streaming driver's
+//! stats comparable to the batch driver's (the CI streaming smoke diffs
+//! them).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use watter_core::{NodeId, Order, OrderId, Ts};
+
+/// Ingest validation parameters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Number of road-network nodes; orders referencing `NodeId >= nodes`
+    /// are out of bounds. `None` skips the bounds check (opaque node
+    /// spaces).
+    pub nodes: Option<u32>,
+}
+
+impl IngestConfig {
+    /// Config validating node ids against a road network of `nodes`
+    /// nodes.
+    pub fn for_nodes(nodes: usize) -> Self {
+        Self {
+            nodes: Some(nodes as u32),
+        }
+    }
+}
+
+/// Why an order was refused at the ingest stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// `riders == 0`: nobody to transport.
+    ZeroRiders,
+    /// Pick-up or drop-off outside the road network.
+    NodeOutOfBounds(NodeId),
+    /// Pick-up equals drop-off.
+    DegenerateTrip,
+    /// Cached direct cost is not positive (corrupt or unroutable trip).
+    NonPositiveDirectCost,
+    /// Negative wait limit.
+    NegativeWaitLimit,
+    /// Already unservable at its own release: `release + direct_cost >=
+    /// deadline`, so even an instant solo dispatch misses the deadline.
+    Expired,
+    /// Release time precedes the submission clock (late feed).
+    Stale {
+        /// The ingest clock at submission.
+        clock: Ts,
+    },
+    /// An order with this id was already admitted.
+    DuplicateId,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroRiders => write!(f, "zero riders"),
+            Self::NodeOutOfBounds(n) => write!(f, "node {n} out of bounds"),
+            Self::DegenerateTrip => write!(f, "pick-up equals drop-off"),
+            Self::NonPositiveDirectCost => write!(f, "non-positive direct cost"),
+            Self::NegativeWaitLimit => write!(f, "negative wait limit"),
+            Self::Expired => write!(f, "expired before release"),
+            Self::Stale { clock } => write!(f, "release precedes clock {clock}"),
+            Self::DuplicateId => write!(f, "duplicate order id"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Ingest counters (serializable; the CLI prints them per streamed run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Orders admitted to the core.
+    pub admitted: u64,
+    /// Orders refused, any reason.
+    pub rejected: u64,
+    /// Refusals: zero riders.
+    pub zero_riders: u64,
+    /// Refusals: node out of bounds.
+    pub out_of_bounds: u64,
+    /// Refusals: degenerate trip.
+    pub degenerate: u64,
+    /// Refusals: non-positive direct cost.
+    pub bad_cost: u64,
+    /// Refusals: negative wait limit.
+    pub bad_wait: u64,
+    /// Refusals: expired at release.
+    pub expired: u64,
+    /// Refusals: stale release.
+    pub stale: u64,
+    /// Refusals: duplicate id.
+    pub duplicate: u64,
+    /// High-water mark of the observed backlog (buffered arrivals plus
+    /// dispatcher-pending orders at submission time).
+    pub peak_backlog: u64,
+}
+
+impl IngestStats {
+    fn count(&mut self, err: IngestError) {
+        self.rejected += 1;
+        match err {
+            IngestError::ZeroRiders => self.zero_riders += 1,
+            IngestError::NodeOutOfBounds(_) => self.out_of_bounds += 1,
+            IngestError::DegenerateTrip => self.degenerate += 1,
+            IngestError::NonPositiveDirectCost => self.bad_cost += 1,
+            IngestError::NegativeWaitLimit => self.bad_wait += 1,
+            IngestError::Expired => self.expired += 1,
+            IngestError::Stale { .. } => self.stale += 1,
+            IngestError::DuplicateId => self.duplicate += 1,
+        }
+    }
+}
+
+/// The streaming validation front end.
+#[derive(Clone, Debug, Default)]
+pub struct OrderIngest {
+    cfg: IngestConfig,
+    seen: BTreeSet<OrderId>,
+    stats: IngestStats,
+}
+
+impl OrderIngest {
+    /// A fresh ingest stage.
+    pub fn new(cfg: IngestConfig) -> Self {
+        Self {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// Validate `order` for submission at `clock`. `Ok` admits the order
+    /// (the caller feeds it to the core); `Err` drops it, counted in
+    /// [`IngestStats`].
+    pub fn admit(&mut self, order: Order, clock: Ts) -> Result<Order, IngestError> {
+        match self.validate(&order, clock) {
+            Ok(()) => {
+                self.seen.insert(order.id);
+                self.stats.admitted += 1;
+                Ok(order)
+            }
+            Err(e) => {
+                self.stats.count(e);
+                Err(e)
+            }
+        }
+    }
+
+    fn validate(&self, order: &Order, clock: Ts) -> Result<(), IngestError> {
+        if self.seen.contains(&order.id) {
+            return Err(IngestError::DuplicateId);
+        }
+        if order.riders == 0 {
+            return Err(IngestError::ZeroRiders);
+        }
+        if let Some(n) = self.cfg.nodes {
+            for node in [order.pickup, order.dropoff] {
+                if node.0 >= n {
+                    return Err(IngestError::NodeOutOfBounds(node));
+                }
+            }
+        }
+        if order.pickup == order.dropoff {
+            return Err(IngestError::DegenerateTrip);
+        }
+        if order.direct_cost <= 0 {
+            return Err(IngestError::NonPositiveDirectCost);
+        }
+        if order.wait_limit < 0 {
+            return Err(IngestError::NegativeWaitLimit);
+        }
+        if order.release + order.direct_cost >= order.deadline {
+            return Err(IngestError::Expired);
+        }
+        if order.release < clock {
+            return Err(IngestError::Stale { clock });
+        }
+        Ok(())
+    }
+
+    /// Track the pipeline backlog (pool-size watermark) after a
+    /// submission.
+    pub fn observe_backlog(&mut self, backlog: usize) {
+        self.stats.peak_backlog = self.stats.peak_backlog.max(backlog as u64);
+    }
+
+    /// The accumulated counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(id: u32) -> Order {
+        Order {
+            id: OrderId(id),
+            pickup: NodeId(0),
+            dropoff: NodeId(5),
+            riders: 1,
+            release: 100,
+            deadline: 400,
+            wait_limit: 60,
+            direct_cost: 120,
+        }
+    }
+
+    #[test]
+    fn valid_order_admitted() {
+        let mut ing = OrderIngest::new(IngestConfig::for_nodes(10));
+        assert!(ing.admit(order(0), 0).is_ok());
+        let s = ing.stats();
+        assert_eq!((s.admitted, s.rejected), (1, 0));
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let mut ing = OrderIngest::new(IngestConfig::for_nodes(10));
+        let cases: Vec<(Order, IngestError)> = vec![
+            (
+                Order {
+                    riders: 0,
+                    ..order(1)
+                },
+                IngestError::ZeroRiders,
+            ),
+            (
+                Order {
+                    dropoff: NodeId(10),
+                    ..order(2)
+                },
+                IngestError::NodeOutOfBounds(NodeId(10)),
+            ),
+            (
+                Order {
+                    dropoff: NodeId(0),
+                    ..order(3)
+                },
+                IngestError::DegenerateTrip,
+            ),
+            (
+                Order {
+                    direct_cost: 0,
+                    ..order(4)
+                },
+                IngestError::NonPositiveDirectCost,
+            ),
+            (
+                Order {
+                    wait_limit: -1,
+                    ..order(5)
+                },
+                IngestError::NegativeWaitLimit,
+            ),
+            (
+                Order {
+                    deadline: 220,
+                    ..order(6)
+                },
+                IngestError::Expired,
+            ),
+        ];
+        for (o, want) in cases {
+            assert_eq!(ing.admit(o, 0).unwrap_err(), want);
+        }
+        assert_eq!(ing.stats().rejected, 6);
+        assert_eq!(ing.stats().admitted, 0);
+    }
+
+    #[test]
+    fn stale_and_duplicate() {
+        let mut ing = OrderIngest::new(IngestConfig::default());
+        assert!(ing.admit(order(7), 100).is_ok());
+        assert_eq!(
+            ing.admit(order(7), 100).unwrap_err(),
+            IngestError::DuplicateId
+        );
+        assert_eq!(
+            ing.admit(order(8), 150).unwrap_err(),
+            IngestError::Stale { clock: 150 }
+        );
+        let s = ing.stats();
+        assert_eq!((s.duplicate, s.stale), (1, 1));
+    }
+
+    #[test]
+    fn backlog_watermark() {
+        let mut ing = OrderIngest::new(IngestConfig::default());
+        ing.observe_backlog(3);
+        ing.observe_backlog(9);
+        ing.observe_backlog(4);
+        assert_eq!(ing.stats().peak_backlog, 9);
+    }
+}

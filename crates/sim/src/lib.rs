@@ -1,21 +1,32 @@
 //! # watter-sim
 //!
-//! Event-driven ridesharing simulator.
+//! Event-driven ridesharing simulator, layered as a reusable **dispatch
+//! core** plus thin **drivers**.
 //!
-//! The engine replays an order stream against a dispatcher (WATTER variants
+//! The core replays an order stream against a dispatcher (WATTER variants
 //! or the baselines in `watter-baselines`) over a shared fleet and road
-//! network, collecting the paper's four measurements. Components:
+//! network, collecting the paper's four measurements plus an operational
+//! KPI surface. Components:
 //!
-//! * [`fleet`] — worker runtime state (location, busy-until), nearest-idle
-//!   queries;
-//! * [`engine`] — the event loop interleaving order arrivals with the
-//!   asynchronous periodic checks of Algorithm 1;
+//! * [`core`] — [`DispatchCore`], the explicit event-driven state machine
+//!   (`step(Event) -> Vec<Effect>`): owns the fleet, clock, buffered
+//!   arrivals, check cadence and metric accumulators;
+//! * [`engine`] — the drivers: [`run`]/[`run_with_kpis`] (batch, proven
+//!   bit-identical to the pre-refactor monolithic loop) and
+//!   [`run_stream`] (streaming, through ingest validation);
+//! * [`ingest`] — [`OrderIngest`], the streaming validation front end
+//!   (typed rejections, per-reason counters, backlog watermark);
+//! * [`snapshot`] — [`DispatchSnapshot`]: serde-serializable capture of a
+//!   run between any two events; `restore + replay(tail)` reproduces the
+//!   uninterrupted run bit for bit;
+//! * [`fleet`] — worker runtime state (location, busy-until),
+//!   nearest-idle queries;
 //! * [`dispatcher`] — the [`Dispatcher`] trait plus [`WatterDispatcher`],
-//!   the order-pool management algorithm parameterized by a decision policy
-//!   (Algorithm 1 + Algorithm 2);
+//!   the order-pool management algorithm parameterized by a decision
+//!   policy (Algorithm 1 + Algorithm 2);
 //! * [`env`] — demand/supply snapshot construction over the grid index.
 //!
-//! The engine is oracle-agnostic: [`engine::run`] takes any
+//! The core is oracle-agnostic: every driver takes any
 //! `&dyn TravelBound` (the `TravelCost` super-trait with admissible
 //! lower bounds, trivially satisfied via the default `0` bound), so a
 //! simulation runs unchanged on the dense all-pairs table or the landmark
@@ -26,13 +37,21 @@
 //! results are bit-identical either way.
 
 pub mod cancel;
+pub mod core;
 pub mod dispatcher;
 pub mod engine;
 pub mod env;
 pub mod fleet;
+pub mod ingest;
+pub mod snapshot;
 
+pub use self::core::{DispatchCore, Effect, Event, RefuseReason};
 pub use cancel::CancellationModel;
 pub use dispatcher::{Dispatcher, SimCtx, WatterConfig, WatterDispatcher};
-pub use engine::{run, SimConfig};
+pub use engine::{run, run_stream, run_with_kpis, SimConfig, StreamOutput};
 pub use env::build_env;
 pub use fleet::Fleet;
+pub use ingest::{IngestConfig, IngestError, IngestStats, OrderIngest};
+pub use snapshot::{
+    DispatchSnapshot, DispatcherState, FleetSnapshot, SnapshotDispatcher, SnapshotError,
+};

@@ -6,6 +6,7 @@
 //!                  [--orders N] [--workers M] [--tau F] [--kw K] [--eta F]
 //!                  [--city-side B] [--oracle auto|dense|alt] [--landmarks K]
 //!                  [--cost-cache] [--threads T] [--shards S]
+//!                  [--stream] [--snapshot-roundtrip] [--kpis json|PATH]
 //!                  [--seed S] [--json PATH]
 //! watter-cli train [--profile nyc|cdc|xia] [--out model.json] [--steps N]
 //! ```
@@ -26,11 +27,21 @@
 //!
 //! `--algo expect` trains a value function on a sibling "day" first (or
 //! loads one via `--model model.json`).
+//!
+//! `--stream` feeds the scenario through the ingest/validation front end
+//! and the streaming driver instead of the batch driver (identical
+//! results; ingest counters go to stderr). `--snapshot-roundtrip`
+//! serializes the run to JSON mid-stream, restores it into a fresh
+//! dispatcher and replays the tail — results again identical (stderr
+//! notes the round trip). `--kpis json` prints the KPI report (service
+//! rate, extra-time distribution, fleet utilization, per-tick latency
+//! percentiles) as JSON on stdout; any other value is a path to write it
+//! to.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use watter::prelude::*;
-use watter::runner::{run_algorithm, Algo};
+use watter::runner::{run_full, Algo, DriveMode};
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -149,7 +160,29 @@ fn cmd_run(flags: HashMap<String, String>) {
             std::process::exit(2);
         }
     };
-    let stats = run_algorithm(&scenario, algo);
+    let mode = if flags.get("snapshot-roundtrip").map(|s| s.as_str()) == Some("true") {
+        DriveMode::SnapshotRoundtrip
+    } else if flags.get("stream").map(|s| s.as_str()) == Some("true") {
+        DriveMode::Stream
+    } else {
+        DriveMode::Batch
+    };
+    let out = run_full(&scenario, algo, mode).unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        std::process::exit(1);
+    });
+    // Extra drive-mode info goes to stderr so stdout stays diffable
+    // against a plain batch run.
+    if let Some(ing) = &out.ingest {
+        eprintln!(
+            "ingest        : admitted={} rejected={} peak-backlog={}",
+            ing.admitted, ing.rejected, ing.peak_backlog
+        );
+    }
+    if mode == DriveMode::SnapshotRoundtrip {
+        eprintln!("snapshot      : mid-run JSON round trip ok");
+    }
+    let stats = RunStats::from(&out.measurements);
     println!("profile       : {}", params.profile.tag());
     println!(
         "oracle        : {}{}",
@@ -167,6 +200,16 @@ fn cmd_run(flags: HashMap<String, String>) {
         let s = serde_json::to_string_pretty(&stats).expect("serialize stats");
         std::fs::write(path, s).expect("write json");
         eprintln!("wrote {path}");
+    }
+    if let Some(dest) = flags.get("kpis") {
+        let report = out.kpis.report(&out.measurements);
+        let s = serde_json::to_string_pretty(&report).expect("serialize kpis");
+        if dest == "json" || dest == "true" {
+            println!("{s}");
+        } else {
+            std::fs::write(dest, s).expect("write kpis");
+            eprintln!("wrote {dest}");
+        }
     }
 }
 

@@ -39,13 +39,17 @@ pub mod runner;
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
     pub use crate::pipeline::{train, TrainedWatter, TrainingConfig};
-    pub use crate::runner::{run_algorithm, Algo};
+    pub use crate::runner::{run_algorithm, run_full, Algo, DriveMode, RunOutput};
     pub use watter_core::{
-        CostWeights, Group, Measurements, OracleKind, Order, RunStats, TravelCost, Worker,
+        CostWeights, Dist, Group, KpiReport, Kpis, Measurements, OracleKind, Order, RunStats,
+        TravelCost, Worker,
     };
     pub use watter_learn::{Gmm, GmmThresholdProvider, ValueFunction};
     pub use watter_road::{AltOracle, CityConfig, CityOracle, CostMatrix, GridIndex, RoadGraph};
-    pub use watter_sim::{Dispatcher, SimConfig, WatterConfig, WatterDispatcher};
+    pub use watter_sim::{
+        DispatchCore, DispatchSnapshot, Dispatcher, Effect, Event, IngestConfig, IngestStats,
+        OrderIngest, SimConfig, SnapshotDispatcher, WatterConfig, WatterDispatcher,
+    };
     pub use watter_strategy::{
         ConstantThreshold, DecisionPolicy, OnlinePolicy, ThresholdPolicy, TimeoutPolicy,
     };

@@ -1,17 +1,22 @@
 //! One-call experiment runner.
 //!
 //! Maps an algorithm name to a configured dispatcher and executes it on a
-//! [`Scenario`], returning the paper's four measurements. This is the unit
-//! of work of every table and figure reproduction.
+//! [`Scenario`] through one of the dispatch-core drivers
+//! ([`DriveMode`]), returning the paper's four measurements plus the
+//! operational KPI surface. This is the unit of work of every table and
+//! figure reproduction.
 
 use std::sync::Arc;
 use watter_baselines::{GasConfig, GasDispatcher, GdpConfig, GdpDispatcher, NonSharingDispatcher};
-use watter_core::{CostWeights, Measurements, RunStats, TravelBound};
+use watter_core::{CostWeights, Kpis, Measurements, RunStats, TravelBound};
 use watter_learn::ValueFunction;
 use watter_pool::{cliques::CliqueLimits, PlanLimits, PoolConfig, SpatialPrune};
 use watter_road::{CachedOracle, CityOracle};
-use watter_sim::{run, SimConfig, WatterConfig, WatterDispatcher};
-use watter_strategy::{OnlinePolicy, ThresholdPolicy, TimeoutPolicy};
+use watter_sim::{
+    run_stream, run_with_kpis, DispatchCore, DispatchSnapshot, Dispatcher, Event, IngestConfig,
+    IngestStats, SimConfig, SnapshotDispatcher, WatterConfig, WatterDispatcher,
+};
+use watter_strategy::{DecisionPolicy, OnlinePolicy, ThresholdPolicy, TimeoutPolicy};
 use watter_workload::Scenario;
 
 /// The algorithms compared in the paper's evaluation.
@@ -54,6 +59,36 @@ impl Algo {
             Algo::WatterOnlineCancel(_) => "WATTER-online+cancel",
         }
     }
+}
+
+/// How the runner feeds a scenario to the dispatch core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DriveMode {
+    /// Batch driver: queue the whole scenario, close, drain
+    /// ([`run_with_kpis`]).
+    #[default]
+    Batch,
+    /// Streaming driver: orders flow through ingest validation and
+    /// interleave with due checks ([`run_stream`]).
+    Stream,
+    /// Batch semantics, but mid-run the core and dispatcher are
+    /// serialized to JSON, dropped, restored into a *fresh* dispatcher,
+    /// and the tail replayed — exercising the snapshot/restore contract
+    /// end to end. Identical results to [`DriveMode::Batch`] modulo
+    /// wall-clock timing. Only dispatchers with serializable runtime
+    /// state support it (the WATTER family and NonSharing).
+    SnapshotRoundtrip,
+}
+
+/// Outcome of one driven run.
+pub struct RunOutput {
+    /// The paper's measurements.
+    pub measurements: Measurements,
+    /// The KPI accumulator (summarize via
+    /// [`Kpis::report`]).
+    pub kpis: Kpis,
+    /// Ingest counters ([`DriveMode::Stream`] only).
+    pub ingest: Option<IngestStats>,
 }
 
 /// Pool configuration derived from scenario parameters.
@@ -140,17 +175,140 @@ pub fn sim_config(scenario: &Scenario) -> SimConfig {
     }
 }
 
-/// Execute one algorithm on one scenario, returning full measurements.
-pub fn run_measured(scenario: &Scenario, algo: Algo) -> Measurements {
-    let cfg = sim_config(scenario);
+/// Drive a dispatcher without snapshot support (batch or stream only).
+fn drive_plain<D: Dispatcher>(
+    scenario: &Scenario,
+    cfg: SimConfig,
+    oracle: &dyn TravelBound,
+    dispatcher: &mut D,
+    mode: DriveMode,
+) -> Result<RunOutput, String> {
     let orders = scenario.orders.clone();
     let workers = scenario.workers.clone();
+    match mode {
+        DriveMode::Batch => {
+            let (measurements, kpis) = run_with_kpis(orders, workers, dispatcher, oracle, cfg);
+            Ok(RunOutput {
+                measurements,
+                kpis,
+                ingest: None,
+            })
+        }
+        DriveMode::Stream => {
+            let ingest_cfg = IngestConfig::for_nodes(scenario.graph.node_count());
+            let out = run_stream(orders, workers, dispatcher, oracle, cfg, ingest_cfg);
+            Ok(RunOutput {
+                measurements: out.measurements,
+                kpis: out.kpis,
+                ingest: Some(out.ingest),
+            })
+        }
+        DriveMode::SnapshotRoundtrip => Err(format!(
+            "{} holds non-serializable runtime state; snapshot-roundtrip unsupported",
+            dispatcher.name()
+        )),
+    }
+}
+
+/// Drive a snapshot-capable dispatcher; `make` builds a fresh instance
+/// from the same configuration (called once per needed instance).
+fn drive_snap<D: SnapshotDispatcher>(
+    scenario: &Scenario,
+    cfg: SimConfig,
+    oracle: &dyn TravelBound,
+    make: impl Fn() -> D,
+    mode: DriveMode,
+) -> Result<RunOutput, String> {
+    if mode != DriveMode::SnapshotRoundtrip {
+        return drive_plain(scenario, cfg, oracle, &mut make(), mode);
+    }
+    // Interleave arrivals with due checks so the snapshot lands mid-run
+    // with a genuine tail (pending pool state *and* undelivered
+    // arrivals), then serialize, restore into a fresh dispatcher, and
+    // replay the tail.
+    let orders = scenario.orders.clone();
+    let mid = orders
+        .first()
+        .zip(orders.last())
+        .map(|(f, l)| (f.release + l.release) / 2)
+        .unwrap_or(0);
+    let mut dispatcher = make();
+    let mut core = DispatchCore::new(scenario.workers.clone(), cfg);
+    let mut tail = Vec::new();
+    let mut snapped: Option<DispatchSnapshot> = None;
+    for order in orders {
+        if snapped.is_some() {
+            tail.push(order);
+            continue;
+        }
+        while !core.is_drained() && core.next_due().is_some_and(|due| due < order.release) {
+            core.step(Event::Check, &mut dispatcher, oracle);
+        }
+        if order.release > mid {
+            snapped = Some(core.snapshot(&dispatcher));
+            tail.push(order);
+            continue;
+        }
+        core.step(Event::Arrive(order), &mut dispatcher, oracle);
+    }
+    let snap = snapped.unwrap_or_else(|| core.snapshot(&dispatcher));
+    drop((core, dispatcher));
+
+    // Full JSON round trip: prove the snapshot survives serialization,
+    // not just cloning (f64 round-trips are exact — see the serde shim).
+    let json = serde_json::to_string(&snap).map_err(|e| format!("snapshot serialize: {e:?}"))?;
+    let snap: DispatchSnapshot =
+        serde_json::from_str(&json).map_err(|e| format!("snapshot parse: {e:?}"))?;
+
+    let mut dispatcher = make();
+    let mut core = DispatchCore::restore(&snap, &mut dispatcher)
+        .map_err(|e| format!("snapshot restore: {e}"))?;
+    for order in tail {
+        while !core.is_drained() && core.next_due().is_some_and(|due| due < order.release) {
+            core.step(Event::Check, &mut dispatcher, oracle);
+        }
+        core.step(Event::Arrive(order), &mut dispatcher, oracle);
+    }
+    core.step(Event::Close, &mut dispatcher, oracle);
+    while !core.is_drained() {
+        core.step(Event::Check, &mut dispatcher, oracle);
+    }
+    let (measurements, kpis) = core.finish();
+    Ok(RunOutput {
+        measurements,
+        kpis,
+        ingest: None,
+    })
+}
+
+/// Execute one algorithm on one scenario through `mode`.
+///
+/// Errors only when the combination is unsupported
+/// ([`DriveMode::SnapshotRoundtrip`] with GDP/GAS, whose schedule state
+/// is not serializable) or a snapshot fails to round-trip.
+pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunOutput, String> {
+    let cfg = sim_config(scenario);
     let sim_oracle = sim_oracle(scenario);
     let oracle = sim_oracle.as_dyn();
+    fn watter<P: DecisionPolicy>(
+        scenario: &Scenario,
+        cfg: SimConfig,
+        oracle: &dyn TravelBound,
+        make_policy: impl Fn() -> P,
+        mode: DriveMode,
+    ) -> Result<RunOutput, String> {
+        drive_snap(
+            scenario,
+            cfg,
+            oracle,
+            || WatterDispatcher::new(watter_config(scenario), make_policy()),
+            mode,
+        )
+    }
     match algo {
         Algo::Gdp => {
-            let mut d = GdpDispatcher::new(GdpConfig::default(), &workers);
-            run(orders, workers, &mut d, oracle, cfg)
+            let mut d = GdpDispatcher::new(GdpConfig::default(), &scenario.workers);
+            drive_plain(scenario, cfg, oracle, &mut d, mode)
         }
         Algo::Gas => {
             let mut d = GasDispatcher::new(GasConfig {
@@ -158,54 +316,63 @@ pub fn run_measured(scenario: &Scenario, algo: Algo) -> Measurements {
                 max_group_size: scenario.params.max_capacity as usize,
                 beam_width: 8,
             });
-            run(orders, workers, &mut d, oracle, cfg)
+            drive_plain(scenario, cfg, oracle, &mut d, mode)
         }
-        Algo::NonSharing => {
-            let mut d = NonSharingDispatcher::new();
-            run(orders, workers, &mut d, oracle, cfg)
-        }
-        Algo::WatterOnline => {
-            let mut d = WatterDispatcher::new(watter_config(scenario), OnlinePolicy);
-            run(orders, workers, &mut d, oracle, cfg)
-        }
-        Algo::WatterTimeout => {
-            let mut d = WatterDispatcher::new(
-                watter_config(scenario),
-                TimeoutPolicy {
-                    check_period: cfg.check_period,
-                },
-            );
-            run(orders, workers, &mut d, oracle, cfg)
-        }
-        Algo::WatterExpectGmm(gmm) => {
-            let provider = watter_learn::GmmThresholdProvider::from_gmm((*gmm).clone());
-            let mut d = WatterDispatcher::new(
-                watter_config(scenario),
-                ThresholdPolicy::new(provider, cfg.check_period),
-            );
-            run(orders, workers, &mut d, oracle, cfg)
-        }
-        Algo::WatterExpectValue(vf) => {
-            let mut d = WatterDispatcher::new(
-                watter_config(scenario),
-                ThresholdPolicy::new(ArcProvider(vf), cfg.check_period),
-            );
-            run(orders, workers, &mut d, oracle, cfg)
-        }
-        Algo::WatterConstant(theta) => {
-            let mut d = WatterDispatcher::new(
-                watter_config(scenario),
-                ThresholdPolicy::new(watter_strategy::ConstantThreshold(theta), cfg.check_period),
-            );
-            run(orders, workers, &mut d, oracle, cfg)
-        }
-        Algo::WatterOnlineCancel(model) => {
-            let mut wcfg = watter_config(scenario);
-            wcfg.cancellation = model;
-            let mut d = WatterDispatcher::new(wcfg, OnlinePolicy);
-            run(orders, workers, &mut d, oracle, cfg)
-        }
+        Algo::NonSharing => drive_snap(scenario, cfg, oracle, NonSharingDispatcher::new, mode),
+        Algo::WatterOnline => watter(scenario, cfg, oracle, || OnlinePolicy, mode),
+        Algo::WatterTimeout => watter(
+            scenario,
+            cfg,
+            oracle,
+            || TimeoutPolicy {
+                check_period: cfg.check_period,
+            },
+            mode,
+        ),
+        Algo::WatterExpectGmm(gmm) => watter(
+            scenario,
+            cfg,
+            oracle,
+            || {
+                let provider = watter_learn::GmmThresholdProvider::from_gmm((*gmm).clone());
+                ThresholdPolicy::new(provider, cfg.check_period)
+            },
+            mode,
+        ),
+        Algo::WatterExpectValue(vf) => watter(
+            scenario,
+            cfg,
+            oracle,
+            || ThresholdPolicy::new(ArcProvider(Arc::clone(&vf)), cfg.check_period),
+            mode,
+        ),
+        Algo::WatterConstant(theta) => watter(
+            scenario,
+            cfg,
+            oracle,
+            || ThresholdPolicy::new(watter_strategy::ConstantThreshold(theta), cfg.check_period),
+            mode,
+        ),
+        Algo::WatterOnlineCancel(model) => drive_snap(
+            scenario,
+            cfg,
+            oracle,
+            || {
+                let mut wcfg = watter_config(scenario);
+                wcfg.cancellation = model;
+                WatterDispatcher::new(wcfg, OnlinePolicy)
+            },
+            mode,
+        ),
     }
+}
+
+/// Execute one algorithm on one scenario, returning full measurements
+/// (batch driver).
+pub fn run_measured(scenario: &Scenario, algo: Algo) -> Measurements {
+    run_full(scenario, algo, DriveMode::Batch)
+        .expect("batch mode is supported by every algorithm")
+        .measurements
 }
 
 /// Execute one algorithm and summarize into [`RunStats`].
