@@ -6,7 +6,9 @@
 
 use std::collections::VecDeque;
 use watter_core::Order;
-use watter_sim::{Dispatcher, DispatcherState, SimCtx, SnapshotDispatcher, SnapshotError};
+use watter_sim::{
+    DegradableDispatcher, Dispatcher, DispatcherState, SimCtx, SnapshotDispatcher, SnapshotError,
+};
 
 /// First-come-first-served solo dispatcher.
 #[derive(Default)]
@@ -54,6 +56,10 @@ impl Dispatcher for NonSharingDispatcher {
         "NonSharing".into()
     }
 }
+
+/// Already solo-only: there is no cheaper path to fall back to, so the
+/// default "mode unsupported" implementation is exactly right.
+impl DegradableDispatcher for NonSharingDispatcher {}
 
 impl SnapshotDispatcher for NonSharingDispatcher {
     fn save_state(&self) -> DispatcherState {

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! `exp` ∈ {example1, fig3, fig4, fig5, fig6, eta, dt, grid, omega,
-//! ablations, kpis, oracle, pool, all};
+//! ablations, kpis, oracle, pool, chaos, all};
 //! `scale` shrinks order/worker counts (default 1.0). Results are printed
 //! as tables and written to `results/<exp>.json`.
 //!
@@ -146,6 +146,45 @@ fn kpis(scale: f64) {
     eprintln!("[kpis] -> results/kpis.json");
 }
 
+fn chaos(scale: f64) {
+    println!("\n## Chaos study: crash/corrupt/recover per (city, fault, policy)");
+    println!(
+        "{:<5} {:<18} {:<9} {:>9} {:>9} {:>10} {:>6} {:>9} {:>8} {:>11}",
+        "city",
+        "fault",
+        "policy",
+        "crash@",
+        "resume@",
+        "discarded",
+        "shed",
+        "degraded",
+        "blocked",
+        "consistent"
+    );
+    let rows = experiments::chaos_study(scale);
+    for r in &rows {
+        println!(
+            "{:<5} {:<18} {:<9} {:>9} {:>9} {:>10} {:>6} {:>9} {:>8} {:>11}",
+            r.city,
+            r.fault,
+            r.policy,
+            r.crashed_at.map_or("-".into(), |c| c.to_string()),
+            r.resumed_from.map_or("-".into(), |c| c.to_string()),
+            r.discarded_generations,
+            r.shed,
+            r.degraded,
+            r.blocked,
+            r.consistent
+        );
+    }
+    write_json(&results_path("chaos"), &rows).expect("write results");
+    let violations = rows.iter().filter(|r| !r.consistent).count();
+    eprintln!("[chaos] {violations} consistency violations -> results/chaos.json");
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let exp = args.get(1).map(|s| s.as_str()).unwrap_or("all");
@@ -178,6 +217,7 @@ fn main() {
         "kpis" => kpis(scale),
         "oracle" => oracle(),
         "pool" => pool(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(320)),
+        "chaos" => chaos(scale),
         "ablations" => run_figure(
             "ablations",
             "Ablations: clique fan-out, demand correlation, cancellation",
@@ -214,9 +254,10 @@ fn main() {
             );
             kpis(scale);
             oracle();
+            chaos(scale);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|kpis|oracle|pool|all");
+            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|kpis|oracle|pool|chaos|all");
             std::process::exit(2);
         }
     }

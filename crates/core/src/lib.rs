@@ -26,6 +26,7 @@
 pub mod constraints;
 pub mod env;
 pub mod error;
+pub mod fault;
 pub mod group;
 pub mod ids;
 pub mod kpi;
@@ -41,6 +42,7 @@ pub mod worker;
 pub use constraints::{CapacityCheck, ConstraintViolation};
 pub use env::EnvSnapshot;
 pub use error::CoreError;
+pub use fault::{CorruptKind, FaultPlan, RobustnessReport};
 pub use group::{Group, GroupQuality};
 pub use ids::{NodeId, OrderId, WorkerId};
 pub use kpi::{Dist, KpiReport, Kpis};

@@ -149,6 +149,28 @@ impl SimCtx<'_> {
     }
 }
 
+/// A dispatcher that can trade quality for bounded per-order work under
+/// overload — the hook behind the daemon's `Degrade` backpressure policy.
+///
+/// Degraded mode must keep every outcome *terminal-complete* (each order
+/// still ends served or rejected); what it may sacrifice is pooling
+/// quality. The default implementation refuses the mode (`false`), which
+/// is correct for dispatchers with no cheaper path — the daemon still
+/// counts the affected orders, it just cannot change the algorithm.
+pub trait DegradableDispatcher: Dispatcher {
+    /// Enter (`true`) or leave (`false`) degraded mode. Returns whether
+    /// the dispatcher actually supports the switch.
+    fn set_degraded(&mut self, on: bool) -> bool {
+        let _ = on;
+        false
+    }
+
+    /// Whether degraded mode is currently active.
+    fn is_degraded(&self) -> bool {
+        false
+    }
+}
+
 /// An online dispatch algorithm under test.
 pub trait Dispatcher {
     /// A new order was released.
@@ -206,6 +228,11 @@ pub struct WatterDispatcher<P, O = NoopObserver> {
     cancellation: crate::cancel::CancellationModel,
     cancel_seed: u64,
     observer: O,
+    /// Degraded (solo-only) mode: arrivals bypass the pool entirely.
+    /// Operational state set by the daemon's backpressure, not part of
+    /// the dispatch snapshot (the daemon re-derives it on resume from the
+    /// checkpointed hysteresis flag).
+    degraded: bool,
 }
 
 impl<P: DecisionPolicy> WatterDispatcher<P, NoopObserver> {
@@ -234,6 +261,7 @@ impl<P: DecisionPolicy, O: PoolObserver> WatterDispatcher<P, O> {
             cancellation: cfg.cancellation,
             cancel_seed: cfg.cancel_seed,
             observer,
+            degraded: false,
         }
     }
 
@@ -271,6 +299,18 @@ impl<P: DecisionPolicy, O: PoolObserver> WatterDispatcher<P, O> {
 
 impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
     fn on_arrival(&mut self, order: Order, ctx: &mut SimCtx<'_>) {
+        // Degraded (overload) mode: solo dispatch or reject, right now.
+        // No pool insert means no shareability-graph work, so per-order
+        // cost stays O(fleet scan) while the daemon sheds load. The
+        // observer is skipped too — degraded outcomes are operational
+        // fallbacks, not pooling experience.
+        if self.degraded {
+            match ctx.solo_group(&order).and_then(|g| ctx.dispatch_group(&g)) {
+                Some(_) => {}
+                None => ctx.reject(&order),
+            }
+            return;
+        }
         // Algorithm 1 lines 2–4: insert into the pool, maintaining the
         // shareability graph and the best-group map.
         self.pool.insert(order, ctx.now, &ctx.oracle);
@@ -362,6 +402,17 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
 
     fn name(&self) -> String {
         self.policy.name().to_string()
+    }
+}
+
+impl<P: DecisionPolicy, O: PoolObserver> DegradableDispatcher for WatterDispatcher<P, O> {
+    fn set_degraded(&mut self, on: bool) -> bool {
+        self.degraded = on;
+        true
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded
     }
 }
 

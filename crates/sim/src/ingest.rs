@@ -21,6 +21,31 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use watter_core::{NodeId, Order, OrderId, Ts};
 
+/// Why a raw order *line* was refused before reaching the core: either
+/// the bytes were not a well-formed order at all, or the decoded order
+/// failed a validation check. The stream path never panics on bad input —
+/// a truncated or garbage line is a counted, typed rejection
+/// ([`IngestStats::malformed`]), exactly like any other door rejection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LineError {
+    /// The line failed to parse as an [`Order`] (truncated JSON, wrong
+    /// shape, non-JSON bytes). Carries the parser's message.
+    Malformed(String),
+    /// The line decoded but the order failed validation.
+    Invalid(IngestError),
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(msg) => write!(f, "malformed order line: {msg}"),
+            Self::Invalid(e) => write!(f, "invalid order: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
 /// Ingest validation parameters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IngestConfig {
@@ -105,6 +130,10 @@ pub struct IngestStats {
     pub stale: u64,
     /// Refusals: duplicate id.
     pub duplicate: u64,
+    /// Refusals: line did not parse as an order at all
+    /// ([`LineError::Malformed`]; only the line-oriented
+    /// [`OrderIngest::admit_line`] path can count these).
+    pub malformed: u64,
     /// High-water mark of the observed backlog (buffered arrivals plus
     /// dispatcher-pending orders at submission time).
     pub peak_backlog: u64,
@@ -141,6 +170,39 @@ impl OrderIngest {
             cfg,
             ..Self::default()
         }
+    }
+
+    /// Parse one newline-delimited JSON order line and validate it for
+    /// submission at `clock` — the daemon's door. Malformed bytes are a
+    /// typed, counted rejection ([`IngestStats::malformed`]), never a
+    /// panic; well-formed orders go through the same validation as
+    /// [`OrderIngest::admit`].
+    pub fn admit_line(&mut self, line: &str, clock: Ts) -> Result<Order, LineError> {
+        let order = match Self::parse_line(line) {
+            Ok(order) => order,
+            Err(e) => {
+                self.note_malformed();
+                return Err(e);
+            }
+        };
+        self.admit(order, clock).map_err(LineError::Invalid)
+    }
+
+    /// Parse one wire line into an [`Order`] without validating or
+    /// counting anything. Split out of [`OrderIngest::admit_line`] for
+    /// callers that need the decoded order *before* committing to
+    /// admission (the daemon runs due checks against the order's release
+    /// first, then admits at the advanced clock) — pair a failure with
+    /// [`OrderIngest::note_malformed`] so the counters stay complete.
+    pub fn parse_line(line: &str) -> Result<Order, LineError> {
+        serde_json::from_str(line).map_err(|e| LineError::Malformed(format!("{e:?}")))
+    }
+
+    /// Count one malformed-line rejection (pairs with
+    /// [`OrderIngest::parse_line`]).
+    pub fn note_malformed(&mut self) {
+        self.stats.rejected += 1;
+        self.stats.malformed += 1;
     }
 
     /// Validate `order` for submission at `clock`. `Ok` admits the order
@@ -202,6 +264,38 @@ impl OrderIngest {
     pub fn stats(&self) -> IngestStats {
         self.stats
     }
+
+    /// Serializable runtime state for daemon checkpoints: the duplicate-id
+    /// filter and the counters. The config is construction-time state and
+    /// rides outside, like every other snapshot in this workspace.
+    pub fn snapshot(&self) -> IngestSnapshot {
+        IngestSnapshot {
+            seen: self.seen.iter().copied().collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild an ingest stage from checkpointed state.
+    pub fn restore(cfg: IngestConfig, snap: &IngestSnapshot) -> Self {
+        Self {
+            cfg,
+            seen: snap.seen.iter().copied().collect(),
+            stats: snap.stats,
+        }
+    }
+}
+
+/// Checkpointable runtime state of an [`OrderIngest`] (see
+/// [`OrderIngest::snapshot`]). A recovered daemon must keep rejecting
+/// duplicates admitted before the crash and keep counting from the
+/// checkpointed totals, or its final stats would diverge from the
+/// uninterrupted run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IngestSnapshot {
+    /// Order ids admitted so far (the duplicate filter).
+    pub seen: Vec<OrderId>,
+    /// The accumulated counters.
+    pub stats: IngestStats,
 }
 
 #[cfg(test)]
@@ -297,6 +391,53 @@ mod tests {
         );
         let s = ing.stats();
         assert_eq!((s.duplicate, s.stale), (1, 1));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_rejections_not_panics() {
+        let mut ing = OrderIngest::new(IngestConfig::for_nodes(10));
+        // A truncated order, plain garbage, an empty line, and a valid
+        // JSON value of the wrong shape: all must come back as typed
+        // `Malformed` errors and count in the stats.
+        let valid = serde_json::to_string(&order(1)).expect("serialize");
+        let truncated = &valid[..valid.len() - 7];
+        for bad in [truncated, "not json at all", "", "[1,2,3]", "{\"id\":1}"] {
+            let got = ing.admit_line(bad, 0);
+            assert!(
+                matches!(got, Err(LineError::Malformed(_))),
+                "line {bad:?} must be malformed, got {got:?}"
+            );
+        }
+        let s = ing.stats();
+        assert_eq!((s.malformed, s.rejected, s.admitted), (5, 5, 0));
+        // A well-formed line still goes through full validation.
+        assert!(ing.admit_line(&valid, 0).is_ok());
+        let invalid = serde_json::to_string(&Order {
+            riders: 0,
+            ..order(2)
+        })
+        .expect("serialize");
+        assert_eq!(
+            ing.admit_line(&invalid, 0).unwrap_err(),
+            LineError::Invalid(IngestError::ZeroRiders)
+        );
+    }
+
+    #[test]
+    fn snapshot_restores_duplicate_filter_and_counters() {
+        let mut ing = OrderIngest::new(IngestConfig::default());
+        assert!(ing.admit(order(1), 0).is_ok());
+        assert!(ing.admit_line("garbage", 0).is_err());
+        let snap = ing.snapshot();
+        let text = serde_json::to_string(&snap).expect("serialize");
+        let back: IngestSnapshot = serde_json::from_str(&text).expect("parse");
+        let mut restored = OrderIngest::restore(IngestConfig::default(), &back);
+        assert_eq!(restored.stats(), ing.stats());
+        // The restored stage still refuses the pre-crash admission.
+        assert_eq!(
+            restored.admit(order(1), 0).unwrap_err(),
+            IngestError::DuplicateId
+        );
     }
 
     #[test]

@@ -19,6 +19,14 @@
 //! * [`snapshot`] — [`DispatchSnapshot`]: serde-serializable capture of a
 //!   run between any two events; `restore + replay(tail)` reproduces the
 //!   uninterrupted run bit for bit;
+//! * [`checkpoint`] — [`CheckpointStore`]: atomic, checksum-headed,
+//!   generation-rotated persistence for daemon checkpoints, with typed
+//!   integrity errors and fallback recovery;
+//! * [`daemon`] — [`Daemon`], the long-lived service driver: line-oriented
+//!   ingest, periodic checkpointing, watermark backpressure
+//!   ([`BackpressurePolicy`]) and deterministic fault injection
+//!   (`watter_core::FaultPlan`), with crash recovery proven bit-identical
+//!   by `tests/chaos.rs`;
 //! * [`fleet`] — worker runtime state (location, busy-until),
 //!   nearest-idle queries;
 //! * [`dispatcher`] — the [`Dispatcher`] trait plus [`WatterDispatcher`],
@@ -37,7 +45,9 @@
 //! results are bit-identical either way.
 
 pub mod cancel;
+pub mod checkpoint;
 pub mod core;
+pub mod daemon;
 pub mod dispatcher;
 pub mod engine;
 pub mod env;
@@ -47,11 +57,16 @@ pub mod snapshot;
 
 pub use self::core::{DispatchCore, Effect, Event, RefuseReason};
 pub use cancel::CancellationModel;
-pub use dispatcher::{Dispatcher, SimCtx, WatterConfig, WatterDispatcher};
+pub use checkpoint::{CheckpointError, CheckpointOps, CheckpointStore};
+pub use daemon::{
+    fault_lines, BackpressurePolicy, Daemon, DaemonCheckpoint, DaemonConfig, DaemonError,
+    DaemonOutput, FeedOutcome,
+};
+pub use dispatcher::{DegradableDispatcher, Dispatcher, SimCtx, WatterConfig, WatterDispatcher};
 pub use engine::{run, run_stream, run_with_kpis, SimConfig, StreamOutput};
 pub use env::build_env;
 pub use fleet::Fleet;
-pub use ingest::{IngestConfig, IngestError, IngestStats, OrderIngest};
+pub use ingest::{IngestConfig, IngestError, IngestSnapshot, IngestStats, LineError, OrderIngest};
 pub use snapshot::{
     DispatchSnapshot, DispatcherState, FleetSnapshot, SnapshotDispatcher, SnapshotError,
 };

@@ -8,8 +8,14 @@
 //!                  [--cost-cache] [--threads T] [--shards S]
 //!                  [--stream] [--snapshot-roundtrip] [--kpis json|PATH]
 //!                  [--seed S] [--json PATH]
+//! watter-cli orders [scenario flags] [--fault-seed S] [--fault-malformed-every K]
+//!                   [--fault-delay-every K] [--fault-delay-slots N] [--out PATH]
 //! watter-cli train [--profile nyc|cdc|xia] [--out model.json] [--steps N]
 //! ```
+//!
+//! `orders` dumps the scenario's order stream as newline-delimited JSON —
+//! the wire format `watter-daemon` consumes — optionally with
+//! deterministic input faults baked in (see `watter_core::FaultPlan`).
 //!
 //! `--oracle` picks the travel-cost backend: the dense all-pairs table
 //! (`n² × 4` bytes, O(1) queries), landmark-guided A* (`alt`, exact point
@@ -40,92 +46,9 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use watter::cli::{fault_plan_of, params_of, parse_flags, print_stats};
 use watter::prelude::*;
 use watter::runner::{run_full, Algo, DriveMode};
-
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                flags.insert(key.to_string(), args[i + 1].clone());
-                i += 2;
-            } else {
-                flags.insert(key.to_string(), "true".to_string());
-                i += 1;
-            }
-        } else {
-            i += 1;
-        }
-    }
-    flags
-}
-
-fn profile_of(flags: &HashMap<String, String>) -> CityProfile {
-    match flags.get("profile").map(|s| s.as_str()) {
-        Some("nyc") => CityProfile::Nyc,
-        Some("xia") => CityProfile::Xian,
-        _ => CityProfile::Chengdu,
-    }
-}
-
-fn params_of(flags: &HashMap<String, String>) -> ScenarioParams {
-    let mut p = ScenarioParams::default_for(profile_of(flags));
-    if let Some(n) = flags.get("orders").and_then(|s| s.parse().ok()) {
-        p.n_orders = n;
-    }
-    if let Some(m) = flags.get("workers").and_then(|s| s.parse().ok()) {
-        p.n_workers = m;
-    }
-    if let Some(t) = flags.get("tau").and_then(|s| s.parse().ok()) {
-        p.deadline_scale = t;
-    }
-    if let Some(k) = flags.get("kw").and_then(|s| s.parse().ok()) {
-        p.max_capacity = k;
-    }
-    if let Some(e) = flags.get("eta").and_then(|s| s.parse().ok()) {
-        p.wait_scale = e;
-    }
-    if let Some(s) = flags.get("seed").and_then(|s| s.parse().ok()) {
-        p.seed = s;
-    }
-    if let Some(side) = flags.get("city-side").and_then(|s| s.parse().ok()) {
-        p.city_side = side;
-    }
-    let explicit_landmarks: Option<usize> = flags.get("landmarks").and_then(|s| s.parse().ok());
-    let landmarks = explicit_landmarks.unwrap_or(watter::core::DEFAULT_LANDMARKS);
-    match flags.get("oracle").map(|s| s.as_str()) {
-        Some("dense") => p.oracle = OracleKind::Dense,
-        Some("alt") => p.oracle = OracleKind::Alt { landmarks },
-        Some("auto") | None => {
-            p.oracle = OracleKind::Auto;
-            // Honor an explicit --landmarks even in auto mode: resolve the
-            // node-count choice now (cities are city_side² nodes) so the
-            // requested count is used when auto lands on ALT.
-            if explicit_landmarks.is_some()
-                && matches!(
-                    OracleKind::Auto.resolve(p.city_side * p.city_side),
-                    OracleKind::Alt { .. }
-                )
-            {
-                p.oracle = OracleKind::Alt { landmarks };
-            }
-        }
-        Some(other) => {
-            eprintln!("unknown oracle `{other}` (expected auto|dense|alt)");
-            std::process::exit(2);
-        }
-    }
-    p.cost_cache = flags.get("cost-cache").map(|s| s.as_str()) == Some("true");
-    if let Some(t) = flags.get("threads").and_then(|s| s.parse().ok()) {
-        p.parallelism.threads = t;
-    }
-    if let Some(s) = flags.get("shards").and_then(|s| s.parse::<usize>().ok()) {
-        p.parallelism.shards = s.max(1);
-    }
-    p
-}
 
 fn cmd_run(flags: HashMap<String, String>) {
     let params = params_of(&flags);
@@ -183,19 +106,7 @@ fn cmd_run(flags: HashMap<String, String>) {
         eprintln!("snapshot      : mid-run JSON round trip ok");
     }
     let stats = RunStats::from(&out.measurements);
-    println!("profile       : {}", params.profile.tag());
-    println!(
-        "oracle        : {}{}",
-        scenario.oracle.describe(),
-        if params.cost_cache { " +cache" } else { "" }
-    );
-    println!("orders/workers: {}/{}", params.n_orders, params.n_workers);
-    println!("algorithm     : {algo_name}");
-    println!("extra time    : {:.0} s", stats.extra_time);
-    println!("unified cost  : {:.0}", stats.unified_cost);
-    println!("service rate  : {:.1} %", stats.service_rate_pct);
-    println!("running time  : {:.4} ms/order", stats.running_time * 1e3);
-    println!("mean group    : {:.2}", stats.mean_group_size);
+    print_stats(&params, &scenario.oracle.describe(), &algo_name, &stats);
     if let Some(path) = flags.get("json") {
         let s = serde_json::to_string_pretty(&stats).expect("serialize stats");
         std::fs::write(path, s).expect("write json");
@@ -210,6 +121,26 @@ fn cmd_run(flags: HashMap<String, String>) {
             std::fs::write(dest, s).expect("write kpis");
             eprintln!("wrote {dest}");
         }
+    }
+}
+
+/// Dump the scenario's order stream as newline-delimited JSON — the wire
+/// format `watter-daemon` consumes. The same scenario flags produce the
+/// same workers/oracle in both binaries, so piping this output into the
+/// daemon reproduces `watter-cli run` exactly. Fault flags
+/// (`--fault-seed`, `--fault-malformed-every`, `--fault-delay-every`,
+/// `--fault-delay-slots`) bake deterministic input faults into the lines.
+fn cmd_orders(flags: HashMap<String, String>) {
+    let params = params_of(&flags);
+    let scenario = Scenario::build(params);
+    let plan = fault_plan_of(&flags);
+    let lines = watter::sim::fault_lines(&scenario.orders, &plan).join("\n");
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, lines + "\n").expect("write orders");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{lines}"),
     }
 }
 
@@ -244,9 +175,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(parse_flags(&args[1..])),
+        Some("orders") => cmd_orders(parse_flags(&args[1..])),
         Some("train") => cmd_train(parse_flags(&args[1..])),
         _ => {
-            eprintln!("usage: watter-cli <run|train> [--flags]  (see --help in source)");
+            eprintln!("usage: watter-cli <run|orders|train> [--flags]  (see --help in source)");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,348 @@
+//! `watter-daemon` — dispatch as a service: a long-lived process that
+//! reads newline-delimited JSON orders from a pipe, file/FIFO or Unix
+//! socket, dispatches them through the WATTER engine, checkpoints its
+//! state for crash recovery, and answers live KPI queries.
+//!
+//! ```text
+//! watter-daemon [scenario flags: --profile --orders --workers --seed
+//!                --city-side --oracle --landmarks --cost-cache ...]
+//!               [--algo online|timeout|nonshare]
+//!               [--input PATH | --socket PATH]          (default: stdin)
+//!               [--ckpt-dir DIR] [--ckpt-every N] [--ckpt-interval SECS]
+//!               [--ckpt-keep N] [--resume]
+//!               [--backpressure block|shed|degrade]
+//!               [--high-watermark N] [--low-watermark N]
+//!               [--fault-crash-after K] [--fault-corrupt torn|bitflip]
+//!               [--fault-io-failures N]
+//!               [--json PATH] [--kpis PATH]
+//! ```
+//!
+//! The scenario flags build the same workers/oracle/grid as `watter-cli
+//! run` with identical flags; the order *stream* comes from the input
+//! source (generate one with `watter-cli orders`). On end of input the
+//! daemon closes the stream, drains, and prints the exact stat block
+//! `watter-cli run` prints — so CI can diff a daemon run (even one
+//! recovered from a crash) against the batch reference.
+//!
+//! Control lines on the input stream (prefix `#`):
+//!
+//! * `#kpis PATH` — write the live KPI report as JSON to `PATH`;
+//! * `#checkpoint` — checkpoint immediately;
+//! * `#close` — treat as end of input (useful over sockets, where the
+//!   listener outlives any one client).
+//!
+//! `SIGTERM` triggers a final checkpoint, a clean close-and-drain, the
+//! stat block, exit 0. An injected crash (`--fault-crash-after`) exits
+//! with code 42 *without* drain or final checkpoint — the simulated
+//! power cut the chaos harness recovers from; `--resume` restores the
+//! newest valid checkpoint generation from `--ckpt-dir` and skips the
+//! already-consumed prefix of the re-fed input.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+use watter::cli::{fault_plan_of, params_of, parse_flags, print_stats};
+use watter::runner::{sim_config, sim_oracle, watter_config};
+use watter_baselines::NonSharingDispatcher;
+use watter_core::{FaultPlan, RunStats, TravelBound};
+use watter_sim::{
+    BackpressurePolicy, CheckpointError, CheckpointStore, Daemon, DaemonConfig, DaemonError,
+    DegradableDispatcher, FeedOutcome, IngestConfig, SnapshotDispatcher, WatterDispatcher,
+};
+use watter_strategy::{OnlinePolicy, TimeoutPolicy};
+use watter_workload::Scenario;
+
+/// Exit code of an injected crash — distinguishable from real failures
+/// so scripted harnesses can assert the fault actually fired.
+const CRASH_EXIT: i32 = 42;
+
+/// Set by the SIGTERM handler; the event loop polls it between lines.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Register `on_term` for SIGTERM (15) via the libc `signal` symbol —
+/// enough for a single flag store, with no need for a signal-handling
+/// crate. The reader thread keeps blocking reads off the main thread, so
+/// the flag is observed within one `recv_timeout` tick.
+fn install_sigterm() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_term as extern "C" fn(i32) as *const () as usize);
+    }
+}
+
+/// Spawn the reader thread for the chosen input source; lines arrive on
+/// the returned channel, EOF closes it.
+fn spawn_reader(flags: &HashMap<String, String>) -> mpsc::Receiver<String> {
+    let (tx, rx) = mpsc::channel::<String>();
+    let input = flags.get("input").cloned();
+    let socket = flags.get("socket").cloned();
+    std::thread::spawn(move || {
+        let forward = |tx: &mpsc::Sender<String>, reader: &mut dyn Read| {
+            for line in BufReader::new(reader).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        };
+        if let Some(path) = socket {
+            let _ = std::fs::remove_file(&path);
+            let listener = match std::os::unix::net::UnixListener::bind(&path) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("bind {path}: {e}");
+                    return;
+                }
+            };
+            // Serve clients sequentially until one sends `#close` (the
+            // main loop ends the run on that control line; the channel
+            // then disconnects and this thread winds down on next send).
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                forward(&tx, &mut stream);
+            }
+        } else if let Some(path) = input {
+            match std::fs::File::open(&path) {
+                Ok(mut f) => forward(&tx, &mut f),
+                Err(e) => eprintln!("open {path}: {e}"),
+            }
+        } else {
+            forward(&tx, &mut std::io::stdin().lock());
+        }
+    });
+    rx
+}
+
+fn daemon_config(flags: &HashMap<String, String>, fault: FaultPlan) -> DaemonConfig {
+    let mut cfg = DaemonConfig {
+        fault,
+        ..DaemonConfig::default()
+    };
+    if let Some(n) = flags.get("ckpt-every").and_then(|s| s.parse().ok()) {
+        cfg.checkpoint_every_events = n;
+    }
+    if let Some(s) = flags.get("ckpt-interval").and_then(|s| s.parse().ok()) {
+        cfg.checkpoint_interval = s;
+    }
+    match flags.get("backpressure").map(|s| s.as_str()) {
+        Some("block") | None => cfg.policy = BackpressurePolicy::Block,
+        Some("shed") => cfg.policy = BackpressurePolicy::Shed,
+        Some("degrade") => cfg.policy = BackpressurePolicy::Degrade,
+        Some(other) => {
+            eprintln!("unknown backpressure policy `{other}` (expected block|shed|degrade)");
+            std::process::exit(2);
+        }
+    }
+    if let Some(n) = flags.get("high-watermark").and_then(|s| s.parse().ok()) {
+        cfg.high_watermark = n;
+        cfg.low_watermark = n / 2;
+    }
+    if let Some(n) = flags.get("low-watermark").and_then(|s| s.parse().ok()) {
+        cfg.low_watermark = n;
+    }
+    cfg
+}
+
+/// The daemon event loop, generic over the dispatcher family.
+#[allow(clippy::too_many_arguments)]
+fn serve<D: SnapshotDispatcher + DegradableDispatcher>(
+    scenario: &Scenario,
+    flags: &HashMap<String, String>,
+    algo_name: &str,
+    oracle: &dyn TravelBound,
+    make: impl Fn() -> D,
+) {
+    let fault = fault_plan_of(flags);
+    let cfg = daemon_config(flags, fault);
+    let ingest_cfg = IngestConfig::for_nodes(scenario.graph.node_count());
+    let keep = flags
+        .get("ckpt-keep")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let open_store = || {
+        flags.get("ckpt-dir").map(|dir| {
+            CheckpointStore::open(std::path::Path::new(dir), keep, fault).unwrap_or_else(|e| {
+                eprintln!("open checkpoint store {dir}: {e}");
+                std::process::exit(1);
+            })
+        })
+    };
+    let fresh = |store| {
+        Daemon::new(
+            scenario.workers.clone(),
+            sim_config(scenario),
+            make(),
+            oracle,
+            ingest_cfg,
+            cfg,
+            store,
+        )
+    };
+
+    let mut daemon = if flags.get("resume").map(|s| s.as_str()) == Some("true") {
+        let Some(store) = open_store() else {
+            eprintln!("--resume requires --ckpt-dir");
+            std::process::exit(2);
+        };
+        match Daemon::resume(store, make(), oracle, ingest_cfg, cfg) {
+            Ok(Some(daemon)) => {
+                eprintln!(
+                    "resumed       : {} lines already consumed",
+                    daemon.lines_consumed()
+                );
+                daemon
+            }
+            Ok(None) => {
+                eprintln!("resume        : no checkpoint found, starting fresh");
+                fresh(open_store())
+            }
+            Err(DaemonError::Checkpoint(CheckpointError::NoValidCheckpoint)) => {
+                eprintln!("resume        : every checkpoint generation corrupt, starting fresh");
+                fresh(open_store())
+            }
+            Err(e) => {
+                eprintln!("resume failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        fresh(open_store())
+    };
+
+    // On resume the daemon has already consumed a prefix of the stream;
+    // the host re-feeds the whole input, so skip that many data lines.
+    let mut skip = daemon.lines_consumed();
+    let rx = spawn_reader(flags);
+    'serve: loop {
+        if TERM.load(Ordering::SeqCst) {
+            eprintln!("sigterm       : final checkpoint, draining");
+            if let Err(e) = daemon.checkpoint_now() {
+                eprintln!("final checkpoint failed: {e}");
+            }
+            break 'serve;
+        }
+        let line = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => line,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break 'serve, // EOF
+        };
+        if let Some(ctl) = line.strip_prefix('#') {
+            let mut words = ctl.split_whitespace();
+            match words.next() {
+                Some("kpis") => {
+                    let report = daemon.kpi_report();
+                    let json =
+                        serde_json::to_string_pretty(&report).expect("kpi report serializes");
+                    match words.next() {
+                        Some(path) => {
+                            if let Err(e) = std::fs::write(path, json) {
+                                eprintln!("write kpis {path}: {e}");
+                            }
+                        }
+                        None => println!("{json}"),
+                    }
+                }
+                Some("checkpoint") => match daemon.checkpoint_now() {
+                    Ok(Some(gen)) => eprintln!("checkpoint    : generation {gen}"),
+                    Ok(None) => eprintln!("checkpoint    : no store configured"),
+                    Err(e) => eprintln!("checkpoint failed: {e}"),
+                },
+                Some("close") => break 'serve,
+                other => eprintln!("unknown control line {other:?}"),
+            }
+            continue;
+        }
+        if skip > 0 {
+            skip -= 1;
+            continue;
+        }
+        match daemon.feed_line(&line) {
+            FeedOutcome::Crashed => {
+                // The simulated power cut: no drain, no final checkpoint.
+                eprintln!("injected crash after {} lines", daemon.lines_consumed());
+                std::process::exit(CRASH_EXIT);
+            }
+            FeedOutcome::Rejected(e) => eprintln!("rejected line : {e}"),
+            _ => {}
+        }
+    }
+
+    daemon.close_and_drain();
+    // Parity checkpoint on clean shutdown so a later `--resume` of a
+    // finished run restarts from the drained state instead of replaying.
+    if let Err(e) = daemon.checkpoint_now() {
+        eprintln!("final checkpoint failed: {e}");
+    }
+    let robustness = daemon.robustness();
+    let ops = daemon.store_ops();
+    let out = daemon.finish();
+    eprintln!(
+        "ingest        : admitted={} rejected={} malformed={} peak-backlog={}",
+        out.ingest.admitted, out.ingest.rejected, out.ingest.malformed, out.ingest.peak_backlog
+    );
+    eprintln!(
+        "robustness    : shed={} degraded={} blocked={}",
+        robustness.shed, robustness.degraded, robustness.blocked
+    );
+    if let Some(ops) = ops {
+        eprintln!(
+            "checkpoints   : written={} retries={} discarded={} resumed-from={:?}",
+            ops.written, ops.retries, ops.discarded, ops.resumed_from
+        );
+    }
+    let stats = RunStats::from(&out.measurements);
+    let params = params_of(flags);
+    print_stats(&params, &scenario.oracle.describe(), algo_name, &stats);
+    if let Some(path) = flags.get("json") {
+        let s = serde_json::to_string_pretty(&stats).expect("serialize stats");
+        std::fs::write(path, s).expect("write json");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flags.get("kpis") {
+        let report = out.kpis.report(&out.measurements);
+        let s = serde_json::to_string_pretty(&report).expect("serialize kpis");
+        std::fs::write(path, s).expect("write kpis");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args);
+    install_sigterm();
+    let params = params_of(&flags);
+    let scenario = Scenario::build(params);
+    let owned_oracle = sim_oracle(&scenario);
+    let oracle = owned_oracle.as_dyn();
+    let algo = flags
+        .get("algo")
+        .map(|s| s.as_str())
+        .unwrap_or("online")
+        .to_string();
+    match algo.as_str() {
+        "online" => serve(&scenario, &flags, &algo, oracle, || {
+            WatterDispatcher::new(watter_config(&scenario), OnlinePolicy)
+        }),
+        "timeout" => serve(&scenario, &flags, &algo, oracle, || {
+            WatterDispatcher::new(
+                watter_config(&scenario),
+                TimeoutPolicy {
+                    check_period: scenario.params.check_period,
+                },
+            )
+        }),
+        "nonshare" => serve(&scenario, &flags, &algo, oracle, NonSharingDispatcher::new),
+        other => {
+            eprintln!("unknown algo `{other}` (daemon supports online|timeout|nonshare)");
+            std::process::exit(2);
+        }
+    }
+}

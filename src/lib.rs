@@ -33,6 +33,8 @@ pub use watter_sim as sim;
 pub use watter_strategy as strategy;
 pub use watter_workload as workload;
 
+pub mod chaos;
+pub mod cli;
 pub mod pipeline;
 pub mod runner;
 

@@ -1,0 +1,230 @@
+//! Chaos property suite: crash the daemon anywhere, corrupt what it left
+//! behind, and prove recovery is invisible in the results.
+//!
+//! The contract under test ([`watter::chaos`]): for a fixed (possibly
+//! input-faulted) order stream, *process* faults — a crash after an
+//! arbitrary seeded line, a torn or bit-flipped newest checkpoint,
+//! transient checkpoint-IO errors — never change the final measurements,
+//! KPIs, ingest counters or robustness counters. Recovery restores the
+//! newest *valid* generation (falling back past corrupted ones) and
+//! replays the tail; the result must be bit-identical to an uninterrupted
+//! run of the same stream.
+
+use proptest::prelude::*;
+use watter::chaos::{run_chaos, ChaosSpec};
+use watter_core::{CorruptKind, FaultPlan};
+use watter_sim::BackpressurePolicy;
+use watter_workload::{CityProfile, Scenario, ScenarioParams};
+
+fn scenario(pidx: usize, seed: u64, n_orders: usize) -> Scenario {
+    let mut params = ScenarioParams::default_for(CityProfile::ALL[pidx % CityProfile::ALL.len()]);
+    params.n_orders = n_orders;
+    params.n_workers = 12;
+    params.city_side = 10;
+    params.seed = seed;
+    Scenario::build(params)
+}
+
+/// Per-test checkpoint directory; wiped by the harness before each run.
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("watter_chaos_{}_{tag}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The core chaos property: arbitrary seeded crash point, arbitrary
+    /// corruption of the newest checkpoint, input faults in the stream,
+    /// any backpressure policy — recovery is bit-identical.
+    #[test]
+    fn crash_recover_replay_is_bit_identical(
+        pidx in 0usize..3,
+        seed in 0u64..1000,
+        crash_frac in 0.05f64..0.95,
+        corrupt in 0usize..3,
+        policy in 0usize..3,
+        ckpt_every in 1u64..16,
+    ) {
+        let n_orders = 100;
+        let scenario = scenario(pidx, seed, n_orders);
+        let spec = ChaosSpec {
+            fault: FaultPlan {
+                seed,
+                // Input stream carries one malformed line in ~10 and one
+                // delayed line in ~7 so recovery must also reproduce the
+                // rejected/reordered bookkeeping, not just clean orders.
+                malformed_every: Some(10),
+                delay_every: Some(7),
+                delay_slots: 2,
+                crash_after_events: Some((n_orders as f64 * crash_frac) as u64),
+                corrupt_on_crash: [None, Some(CorruptKind::Torn), Some(CorruptKind::BitFlip)]
+                    [corrupt],
+                io_failures: 0,
+            },
+            policy: [
+                BackpressurePolicy::Block,
+                BackpressurePolicy::Shed,
+                BackpressurePolicy::Degrade,
+            ][policy],
+            // Tight enough that backpressure engages on real streams.
+            high_watermark: 6,
+            low_watermark: 3,
+            checkpoint_every_events: ckpt_every,
+            keep: 3,
+        };
+        let outcome = run_chaos(&scenario, &spec, &ckpt_dir("prop")).unwrap();
+        prop_assert!(outcome.crashed_at.is_some(), "crash must fire inside the stream");
+        prop_assert!(
+            outcome.is_consistent(),
+            "recovered run diverged: crashed_at={:?} resumed_from={:?} discarded={} \
+             ref=({:?}, shed={} deg={} blk={}) rec=({:?}, shed={} deg={} blk={})",
+            outcome.crashed_at,
+            outcome.resumed_from,
+            outcome.discarded_generations,
+            outcome.reference.measurements.without_timing(),
+            outcome.reference.robustness.shed,
+            outcome.reference.robustness.degraded,
+            outcome.reference.robustness.blocked,
+            outcome.recovered.measurements.without_timing(),
+            outcome.recovered.robustness.shed,
+            outcome.recovered.robustness.degraded,
+            outcome.recovered.robustness.blocked,
+        );
+    }
+
+    /// Transient checkpoint-IO failures are retried (or at worst skip a
+    /// checkpoint) without ever poisoning recovery.
+    #[test]
+    fn checkpoint_io_failures_never_poison_recovery(
+        seed in 0u64..1000,
+        io_failures in 1u32..3,
+    ) {
+        let scenario = scenario(0, seed, 80);
+        let spec = ChaosSpec {
+            fault: FaultPlan {
+                seed,
+                crash_after_events: Some(50),
+                io_failures,
+                ..FaultPlan::NONE
+            },
+            checkpoint_every_events: 5,
+            ..ChaosSpec::default()
+        };
+        let outcome = run_chaos(&scenario, &spec, &ckpt_dir("io")).unwrap();
+        prop_assert!(outcome.is_consistent());
+    }
+}
+
+/// Corrupting the newest checkpoint forces recovery to discard it and fall
+/// back a generation — and the result still matches bit for bit.
+#[test]
+fn corrupted_newest_checkpoint_falls_back_a_generation() {
+    for (kind, tag) in [(CorruptKind::Torn, "torn"), (CorruptKind::BitFlip, "flip")] {
+        let scenario = scenario(1, 42, 90);
+        let spec = ChaosSpec {
+            fault: FaultPlan {
+                seed: 42,
+                crash_after_events: Some(60),
+                corrupt_on_crash: Some(kind),
+                ..FaultPlan::NONE
+            },
+            checkpoint_every_events: 8,
+            keep: 4,
+            ..ChaosSpec::default()
+        };
+        let outcome = run_chaos(&scenario, &spec, &ckpt_dir(tag)).unwrap();
+        assert_eq!(outcome.crashed_at, Some(60), "{tag}: crash point");
+        assert!(
+            outcome.discarded_generations >= 1,
+            "{tag}: the corrupted newest generation must be discarded"
+        );
+        assert!(outcome.is_consistent(), "{tag}: fallback recovery diverged");
+        // Fallback means the replay cursor is at least one cadence short
+        // of the newest (corrupted) checkpoint's position.
+        let resumed = outcome.resumed_from.expect("resumed from a checkpoint");
+        assert!(
+            resumed + spec.checkpoint_every_events <= 60,
+            "{tag}: resumed_from={resumed} should predate the corrupted generation"
+        );
+    }
+}
+
+/// A crash before the first checkpoint ever lands: recovery restarts from
+/// scratch (resumed_from = 0) and still converges.
+#[test]
+fn crash_before_first_checkpoint_restarts_from_scratch() {
+    let scenario = scenario(2, 7, 80);
+    let spec = ChaosSpec {
+        fault: FaultPlan {
+            seed: 7,
+            crash_after_events: Some(3),
+            ..FaultPlan::NONE
+        },
+        checkpoint_every_events: 50,
+        ..ChaosSpec::default()
+    };
+    let outcome = run_chaos(&scenario, &spec, &ckpt_dir("scratch")).unwrap();
+    assert_eq!(outcome.crashed_at, Some(3));
+    assert_eq!(
+        outcome.resumed_from,
+        Some(0),
+        "no checkpoint should predate the crash"
+    );
+    assert!(outcome.is_consistent());
+}
+
+/// Shed and Degrade accounting reconciles against the ingest totals even
+/// across a crash: every admitted order is either dispatched into the core
+/// or counted shed, and the counters survive recovery unchanged.
+#[test]
+fn shed_and_degrade_counts_reconcile_after_recovery() {
+    let scenario = scenario(0, 11, 120);
+    for policy in [BackpressurePolicy::Shed, BackpressurePolicy::Degrade] {
+        let spec = ChaosSpec {
+            fault: FaultPlan {
+                seed: 11,
+                crash_after_events: Some(70),
+                corrupt_on_crash: Some(CorruptKind::Torn),
+                ..FaultPlan::NONE
+            },
+            policy,
+            high_watermark: 4,
+            low_watermark: 2,
+            checkpoint_every_events: 6,
+            ..ChaosSpec::default()
+        };
+        let outcome = run_chaos(&scenario, &spec, &ckpt_dir("reconcile")).unwrap();
+        assert!(outcome.is_consistent(), "{policy:?}: recovery diverged");
+        let run = &outcome.recovered;
+        assert_eq!(
+            run.measurements.total_orders,
+            run.ingest.admitted - run.robustness.shed,
+            "{policy:?}: admitted orders must be dispatched or counted shed"
+        );
+        match policy {
+            BackpressurePolicy::Shed => {
+                assert!(run.robustness.shed > 0, "watermarks this tight must shed");
+                assert_eq!(run.robustness.degraded, 0);
+            }
+            BackpressurePolicy::Degrade => {
+                assert!(
+                    run.robustness.degraded > 0,
+                    "watermarks this tight must degrade"
+                );
+                assert_eq!(run.robustness.shed, 0);
+            }
+            BackpressurePolicy::Block => unreachable!(),
+        }
+    }
+}
+
+/// With no process faults scheduled the chaos harness degenerates to two
+/// identical uninterrupted runs — a sanity anchor for the suite.
+#[test]
+fn no_faults_is_trivially_consistent() {
+    let scenario = scenario(1, 3, 60);
+    let spec = ChaosSpec::default();
+    let outcome = run_chaos(&scenario, &spec, &ckpt_dir("clean")).unwrap();
+    assert_eq!(outcome.crashed_at, None);
+    assert!(outcome.is_consistent());
+}

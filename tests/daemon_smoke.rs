@@ -1,0 +1,281 @@
+//! Subprocess smoke tests for the `watter-daemon` binary: the crash
+//! recovery the chaos suite proves at the library level must also hold
+//! for the real process — pipes, SIGKILL, checkpoint files on disk and
+//! all. Everything runs at tiny scale so the suite stays fast.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const FLAGS: &[&str] = &[
+    "--profile",
+    "cdc",
+    "--orders",
+    "60",
+    "--workers",
+    "8",
+    "--city-side",
+    "10",
+    "--seed",
+    "7",
+];
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_watter-cli"))
+}
+
+fn daemon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_watter-daemon"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    // Per-process directory so concurrent test invocations (parallel CI
+    // jobs on one runner) can't race on the same file names.
+    let dir = std::env::temp_dir().join(format!("watter_daemon_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let dir = dir.join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// The canonical stat block with the wall-clock row dropped — everything
+/// else must be bit-identical between a batch run and any daemon run.
+fn stable_stats(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| !l.starts_with("running time"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Order stream + uninterrupted `watter-cli run` reference stat block.
+fn reference(dir: &Path) -> (PathBuf, String) {
+    let orders = dir.join("orders.ndjson");
+    let out = cli()
+        .arg("orders")
+        .args(FLAGS)
+        .arg("--out")
+        .arg(&orders)
+        .output()
+        .expect("run watter-cli orders");
+    assert!(out.status.success(), "orders failed: {out:?}");
+    let run = cli()
+        .arg("run")
+        .args(FLAGS)
+        .output()
+        .expect("run watter-cli run");
+    assert!(run.status.success(), "run failed: {run:?}");
+    (orders, stable_stats(&run.stdout))
+}
+
+/// Poll until `pred` holds or the timeout elapses.
+fn wait_for(mut pred: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn checkpoint_count(ckpt: &Path) -> usize {
+    std::fs::read_dir(ckpt).map(|d| d.count()).unwrap_or(0)
+}
+
+/// Feed `lines` to a daemon reading stdin, SIGKILL it once checkpoints
+/// exist, and return after the process is gone.
+fn kill_mid_run(mut child: Child, lines: &[&str], ckpt: &Path) {
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    for line in lines {
+        writeln!(stdin, "{line}").expect("write order line");
+    }
+    stdin.flush().expect("flush");
+    // Hold stdin open — the daemon must die by signal, not EOF drain.
+    wait_for(|| checkpoint_count(ckpt) >= 2, "checkpoints on disk");
+    child.kill().expect("SIGKILL daemon");
+    child.wait().expect("reap daemon");
+}
+
+/// Pipe orders in, SIGKILL the daemon mid-run, restart it with `--resume`
+/// over the full stream: the recovered stat block must match the
+/// uninterrupted `watter-cli run` reference bit for bit.
+#[test]
+fn sigkill_resume_matches_batch_reference() {
+    let dir = temp_dir("sigkill");
+    let (orders, want) = reference(&dir);
+    let ckpt = dir.join("ckpt");
+    let text = std::fs::read_to_string(&orders).expect("read orders");
+    let lines: Vec<&str> = text.lines().collect();
+
+    let child = daemon()
+        .args(FLAGS)
+        .args(["--ckpt-every", "5", "--ckpt-dir"])
+        .arg(&ckpt)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    // Feed roughly two thirds of the stream, then pull the plug.
+    kill_mid_run(child, &lines[..40], &ckpt);
+
+    let resumed = daemon()
+        .args(FLAGS)
+        .args(["--ckpt-dir"])
+        .arg(&ckpt)
+        .args(["--resume", "--input"])
+        .arg(&orders)
+        .output()
+        .expect("resume daemon");
+    assert!(resumed.status.success(), "resume failed: {resumed:?}");
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("resumed"),
+        "expected a resume from checkpoint, got stderr:\n{stderr}"
+    );
+    assert_eq!(stable_stats(&resumed.stdout), want, "stderr:\n{stderr}");
+}
+
+/// An injected crash (`--fault-crash-after`) exits with the dedicated
+/// code 42, and recovery over the same file converges all the same — the
+/// scripted flavor of the chaos property, exactly as CI drives it.
+#[test]
+fn injected_crash_then_resume_matches_batch_reference() {
+    let dir = temp_dir("inject");
+    let (orders, want) = reference(&dir);
+    let ckpt = dir.join("ckpt");
+
+    let crashed = daemon()
+        .args(FLAGS)
+        .args(["--ckpt-every", "8", "--ckpt-dir"])
+        .arg(&ckpt)
+        .args([
+            "--fault-crash-after",
+            "25",
+            "--fault-corrupt",
+            "bitflip",
+            "--input",
+        ])
+        .arg(&orders)
+        .output()
+        .expect("run crashing daemon");
+    assert_eq!(
+        crashed.status.code(),
+        Some(42),
+        "injected crash must exit 42: {crashed:?}"
+    );
+
+    let resumed = daemon()
+        .args(FLAGS)
+        .args(["--ckpt-dir"])
+        .arg(&ckpt)
+        .args(["--resume", "--input"])
+        .arg(&orders)
+        .output()
+        .expect("resume daemon");
+    assert!(resumed.status.success(), "resume failed: {resumed:?}");
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("discarded=1"),
+        "the bit-flipped newest checkpoint must be discarded, stderr:\n{stderr}"
+    );
+    assert_eq!(stable_stats(&resumed.stdout), want, "stderr:\n{stderr}");
+}
+
+/// SIGTERM converts into a final checkpoint and a clean drain: exit 0,
+/// the stat block on stdout, and a `#kpis` control line answered live
+/// beforehand proves the event loop was serving queries mid-stream.
+#[test]
+fn sigterm_drains_cleanly_and_serves_live_kpis() {
+    let dir = temp_dir("sigterm");
+    let (orders, want) = reference(&dir);
+    let ckpt = dir.join("ckpt");
+    let kpis = dir.join("live_kpis.json");
+    let text = std::fs::read_to_string(&orders).expect("read orders");
+
+    let mut child = daemon()
+        .args(FLAGS)
+        .args(["--ckpt-every", "10", "--ckpt-dir"])
+        .arg(&ckpt)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    for line in text.lines() {
+        writeln!(stdin, "{line}").expect("write order line");
+    }
+    // The kpis file doubles as a sync barrier: once it exists, every
+    // order line before the control line has been consumed.
+    writeln!(stdin, "#kpis {}", kpis.display()).expect("write control line");
+    stdin.flush().expect("flush");
+    wait_for(|| kpis.exists(), "live kpi query answered");
+    let live = std::fs::read_to_string(&kpis).expect("read live kpis");
+    assert!(
+        live.trim_start().starts_with('{'),
+        "live KPI report should be JSON, got: {live}"
+    );
+
+    // SIGTERM while stdin is still open — the drain must come from the
+    // signal path, not EOF.
+    let term = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    wait_for(
+        || child.try_wait().expect("try_wait").is_some(),
+        "daemon exit after SIGTERM",
+    );
+    drop(stdin);
+    let out = child.wait_with_output().expect("collect output");
+    assert!(out.status.success(), "SIGTERM exit must be clean: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sigterm"),
+        "drain must come from the signal path, stderr:\n{stderr}"
+    );
+    assert_eq!(stable_stats(&out.stdout), want, "stderr:\n{stderr}");
+    assert!(
+        checkpoint_count(&ckpt) >= 1,
+        "SIGTERM must leave a final checkpoint behind"
+    );
+}
+
+/// Malformed input lines are counted and reported, never fatal: a stream
+/// with garbage interleaved still drains to a clean exit.
+#[test]
+fn malformed_lines_are_survived_and_counted() {
+    let dir = temp_dir("malformed");
+    let (orders, _) = reference(&dir);
+    let text = std::fs::read_to_string(&orders).expect("read orders");
+    let mut garbled = String::new();
+    for (i, line) in text.lines().enumerate() {
+        if i % 7 == 0 {
+            garbled.push_str(&line[..line.len() / 2]);
+            garbled.push('\n');
+        }
+        garbled.push_str(line);
+        garbled.push('\n');
+    }
+    let garbled_path = dir.join("garbled.ndjson");
+    std::fs::write(&garbled_path, garbled).expect("write garbled stream");
+
+    let out = daemon()
+        .args(FLAGS)
+        .arg("--input")
+        .arg(&garbled_path)
+        .output()
+        .expect("run daemon on garbled stream");
+    assert!(
+        out.status.success(),
+        "garbage must not kill the daemon: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("malformed=9"),
+        "9 injected garbage lines must be counted, stderr:\n{stderr}"
+    );
+}
