@@ -62,14 +62,16 @@ fn omega(scale: f64) {
 fn oracle() {
     println!("\n## Oracle study: build/query trade-off per backend");
     println!(
-        "{:<6} {:>8} {:<16} {:>12} {:>14} {:>12}",
-        "side", "nodes", "backend", "build (ms)", "memory (B)", "query (µs)"
+        "{:<6} {:>8} {:<16} {:>12} {:>14} {:>12} {:>8}",
+        "side", "nodes", "backend", "build (ms)", "memory (B)", "query (µs)", "queries"
     );
-    let rows = experiments::oracle_study(&[12, 20, 32]);
+    // 320 is the metropolis-scale city (102 400 nodes); dense backends
+    // are skipped there and CH/ALT/Dijkstra answer cold point queries.
+    let rows = experiments::oracle_study(&[12, 20, 32, 320]);
     for r in &rows {
         println!(
-            "{:<6} {:>8} {:<16} {:>12.1} {:>14} {:>12.2}",
-            r.city_side, r.nodes, r.backend, r.build_ms, r.bytes, r.query_us
+            "{:<6} {:>8} {:<16} {:>12.1} {:>14} {:>12.2} {:>8}",
+            r.city_side, r.nodes, r.backend, r.build_ms, r.bytes, r.query_us, r.queries
         );
     }
     write_json(&results_path("oracle"), &rows).expect("write results");

@@ -339,7 +339,8 @@ pub struct OracleBenchRow {
     pub city_side: usize,
     /// Node count (`side²`).
     pub nodes: usize,
-    /// Backend tag: `dense-serial`, `dense-parallel`, `alt16`, `dijkstra`.
+    /// Backend tag: `dense-serial`, `dense-parallel`, `alt16`, `ch`,
+    /// `dijkstra`.
     pub backend: String,
     /// One-off construction time, milliseconds.
     pub build_ms: f64,
@@ -347,30 +348,38 @@ pub struct OracleBenchRow {
     pub bytes: u64,
     /// Mean point-query latency over a fixed random pair set, microseconds.
     pub query_us: f64,
+    /// Cold queries timed per backend at this size.
+    pub queries: usize,
 }
 
 /// Travel-cost oracle study: build time, memory and point-query latency of
-/// the dense table (serial and parallel build), the ALT oracle and raw
-/// Dijkstra across city sizes. All four backends return bit-identical
-/// costs; this quantifies the memory/latency trade-off documented in the
-/// README.
+/// the dense table (serial and parallel build), the ALT oracle, the
+/// contraction hierarchy and raw Dijkstra across city sizes. All backends
+/// return bit-identical costs; this quantifies the memory/latency
+/// trade-off documented in the README. Dense rows are skipped beyond
+/// `DENSE_NODE_LIMIT` (the table would not fit), and per-query search
+/// backends time fewer pairs on metropolis-scale graphs to keep the study
+/// runnable.
 pub fn oracle_study(sides: &[usize]) -> Vec<OracleBenchRow> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use std::sync::Arc;
     use std::time::Instant;
-    use watter_core::NodeId;
-    use watter_road::{dijkstra, AltOracle, CostMatrix, RoadGraph};
+    use watter_core::{NodeId, DENSE_NODE_LIMIT};
+    use watter_road::{dijkstra, AltOracle, ChOracle, CostMatrix, RoadGraph};
 
-    const QUERIES: usize = 2_000;
     const LANDMARKS: usize = 16;
 
     let mut rows = Vec::new();
     for &side in sides {
         let graph = Arc::new(CityProfile::Chengdu.city_config(side).generate(7));
         let n = graph.node_count();
+        // Per-query searches on a 10⁵-node graph cost milliseconds
+        // (Dijkstra: tens of ms); cap the pair count so the study stays
+        // minutes, not hours, while means remain stable.
+        let queries = if n > 20_000 { 200 } else { 2_000 };
         let mut rng = StdRng::seed_from_u64(side as u64);
-        let pairs: Vec<(NodeId, NodeId)> = (0..QUERIES)
+        let pairs: Vec<(NodeId, NodeId)> = (0..queries)
             .map(|_| {
                 (
                     NodeId(rng.gen_range(0..n as u32)),
@@ -385,7 +394,7 @@ pub fn oracle_study(sides: &[usize]) -> Vec<OracleBenchRow> {
                 acc = acc.wrapping_add(f(a, b));
             }
             std::hint::black_box(acc);
-            t0.elapsed().as_secs_f64() * 1e6 / QUERIES as f64
+            t0.elapsed().as_secs_f64() * 1e6 / queries as f64
         };
         let mut push = |backend: &str, build_ms: f64, bytes: u64, query_us: f64| {
             rows.push(OracleBenchRow {
@@ -395,22 +404,25 @@ pub fn oracle_study(sides: &[usize]) -> Vec<OracleBenchRow> {
                 build_ms,
                 bytes,
                 query_us,
+                queries,
             });
         };
 
-        let t0 = Instant::now();
-        let serial = CostMatrix::build_serial(&graph);
-        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let q = time_queries(&|a, b| watter_core::TravelCost::cost(&serial, a, b));
-        push("dense-serial", serial_ms, (n * n * 4) as u64, q);
-        drop(serial);
+        if n <= DENSE_NODE_LIMIT {
+            let t0 = Instant::now();
+            let serial = CostMatrix::build_serial(&graph);
+            let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let q = time_queries(&|a, b| watter_core::TravelCost::cost(&serial, a, b));
+            push("dense-serial", serial_ms, (n * n * 4) as u64, q);
+            drop(serial);
 
-        let t0 = Instant::now();
-        let parallel = CostMatrix::build(&graph);
-        let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let q = time_queries(&|a, b| watter_core::TravelCost::cost(&parallel, a, b));
-        push("dense-parallel", parallel_ms, (n * n * 4) as u64, q);
-        drop(parallel);
+            let t0 = Instant::now();
+            let parallel = CostMatrix::build(&graph);
+            let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let q = time_queries(&|a, b| watter_core::TravelCost::cost(&parallel, a, b));
+            push("dense-parallel", parallel_ms, (n * n * 4) as u64, q);
+            drop(parallel);
+        }
 
         let t0 = Instant::now();
         let alt = AltOracle::build(Arc::clone(&graph), LANDMARKS);
@@ -423,6 +435,13 @@ pub fn oracle_study(sides: &[usize]) -> Vec<OracleBenchRow> {
             q,
         );
         drop(alt);
+
+        let t0 = Instant::now();
+        let ch = ChOracle::build(Arc::clone(&graph));
+        let ch_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let q = time_queries(&|a, b| watter_core::TravelCost::cost(&ch, a, b));
+        push("ch", ch_ms, ch.resident_bytes() as u64, q);
+        drop(ch);
 
         let graph_ref: &RoadGraph = &graph;
         let q = time_queries(&|a, b| dijkstra::shortest_path_cost(graph_ref, a, b));

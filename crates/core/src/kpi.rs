@@ -122,6 +122,35 @@ impl Kpis {
             } else {
                 0.0
             },
+            // Cache counters live outside the event stream; the runner
+            // attaches them when a cost cache was active.
+            cache: None,
+        }
+    }
+}
+
+/// Cost-cache efficacy counters of one run (`CachedOracle` in
+/// `watter-road`). Counters are diagnostics: under concurrent schedules a
+/// would-be hit can degrade to a recompute, so only single-threaded counts
+/// are exactly reproducible — outcomes are bit-identical regardless.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OracleCacheKpis {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries recomputed through the inner oracle.
+    pub misses: u64,
+    /// Slot overwrites that displaced a different cached pair.
+    pub evictions: u64,
+}
+
+impl OracleCacheKpis {
+    /// `100 × hits / (hits + misses)` (0 when no queries).
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
         }
     }
 }
@@ -199,6 +228,9 @@ pub struct KpiReport {
     /// `100 × busy / (fleet_size × span)`; may exceed 100 when routes
     /// extend past the last event.
     pub fleet_utilization_pct: f64,
+    /// Cost-cache hit/miss/evict counters, when the run wrapped its oracle
+    /// in the memoization layer (`--cost-cache`); `None` otherwise.
+    pub cache: Option<OracleCacheKpis>,
 }
 
 #[cfg(test)]
@@ -261,6 +293,23 @@ mod tests {
         assert_eq!(stripped.extra_times, vec![3.5]);
         assert_eq!(stripped.peak_pending, 4);
         assert_eq!(stripped.peak_buffered, 9);
+    }
+
+    #[test]
+    fn cache_kpis_hit_rate() {
+        let c = OracleCacheKpis {
+            hits: 75,
+            misses: 25,
+            evictions: 3,
+        };
+        assert_eq!(c.hit_rate_pct(), 75.0);
+        assert_eq!(OracleCacheKpis::default().hit_rate_pct(), 0.0);
+        // Reports carry the counters only when a cache was active.
+        let r = Kpis::new(1).report(&Measurements::default());
+        assert_eq!(r.cache, None);
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: OracleCacheKpis = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use error::CoreError;
 pub use fault::{CorruptKind, FaultPlan, RobustnessReport};
 pub use group::{Group, GroupQuality};
 pub use ids::{NodeId, OrderId, WorkerId};
-pub use kpi::{Dist, KpiReport, Kpis};
+pub use kpi::{Dist, KpiReport, Kpis, OracleCacheKpis};
 pub use metrics::{Measurements, OrderOutcome, RunStats};
 pub use objective::{extra_time, CostWeights};
 pub use oracle::{OracleKind, DEFAULT_LANDMARKS, DENSE_NODE_LIMIT};

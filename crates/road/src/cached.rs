@@ -75,22 +75,27 @@ impl Slot {
 
     /// Publish `(key, cost)`; silently skips when another writer holds the
     /// slot (the answer was computed exactly and is returned regardless).
+    /// Returns `true` when the store displaced a *different* cached pair —
+    /// the direct-mapped notion of an eviction.
     #[inline]
-    fn publish(&self, key: u64, cost: Dur) {
+    fn publish(&self, key: u64, cost: Dur) -> bool {
         let s = self.seq.load(Ordering::Relaxed);
         if s & 1 != 0 {
-            return;
+            return false;
         }
         if self
             .seq
             .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
-            return;
+            return false;
         }
+        // The slot is claimed (seq odd): safe to inspect the old key.
+        let old = self.key.load(Ordering::Relaxed);
         self.key.store(key, Ordering::Release);
         self.cost.store(cost, Ordering::Release);
         self.seq.store(s + 2, Ordering::Release);
+        old != EMPTY && old != key
     }
 }
 
@@ -117,6 +122,7 @@ pub struct CachedOracle<C> {
     slot_mask: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<C: TravelCost> CachedOracle<C> {
@@ -134,6 +140,7 @@ impl<C: TravelCost> CachedOracle<C> {
             slot_mask: (slots - 1) as u64,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -158,6 +165,14 @@ impl<C: TravelCost> CachedOracle<C> {
     /// caveat as [`Self::hits`].
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Published entries that displaced a *different* cached pair (the
+    /// direct-mapped notion of an eviction); same caveat as [`Self::hits`].
+    /// High eviction counts signal the working set outgrowing
+    /// [`Self::capacity`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Total slots.
@@ -188,7 +203,9 @@ impl<C: TravelCost> TravelCost for CachedOracle<C> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let cost = self.inner.cost(a, b);
-        slot.publish(key, cost);
+        if slot.publish(key, cost) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         cost
     }
 }
@@ -246,6 +263,23 @@ mod tests {
             let (a, b) = (NodeId(i % 17), NodeId((i * 7) % 23));
             assert_eq!(c.cost(a, b), (a.0 as i64 - b.0 as i64).abs() * 10);
         }
+        // Every distinct pair after the first displaced its predecessor.
+        assert!(c.evictions() > 0);
+        assert!(c.evictions() <= c.misses());
+    }
+
+    #[test]
+    fn evictions_count_only_displacements() {
+        let c = CachedOracle::new(Line(AtomicUsize::new(0)), 1);
+        // First fill: empty slot, not an eviction.
+        c.cost(NodeId(1), NodeId(2));
+        assert_eq!(c.evictions(), 0);
+        // Re-publish of the same pair after a hit: no displacement.
+        c.cost(NodeId(1), NodeId(2));
+        assert_eq!(c.evictions(), 0);
+        // A different pair lands in the only slot: one eviction.
+        c.cost(NodeId(3), NodeId(4));
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

@@ -1,0 +1,1201 @@
+//! Contraction-hierarchy (CH) point-query oracle.
+//!
+//! The ALT oracle made 10⁵-node cities *possible*; its cold queries are
+//! still A* searches that settle thousands of nodes, and PR 3 showed those
+//! misses dominating the cached large-city hot path. A contraction
+//! hierarchy moves that work into preprocessing: nodes are contracted in
+//! importance order, shortcut edges preserve shortest-path costs across
+//! contracted nodes, and a query becomes a *bidirectional upward* Dijkstra
+//! that settles a few hundred nodes regardless of graph size — exact,
+//! microsecond-scale answers at 10⁵–10⁶ nodes.
+//!
+//! # Preprocessing
+//!
+//! 1. **Node ordering** — a lazy priority queue over the classic
+//!    `edge_difference + deleted_neighbors + hierarchy_depth` heuristic:
+//!    nodes whose contraction adds few shortcuts (relative to the edges
+//!    removed), whose neighborhood is still intact, and who sit low in
+//!    the forming hierarchy go first. The depth term
+//!    (`1 + max(depth of contracted neighbors)`) is what keeps grid-like
+//!    networks tractable — it forces contraction into balanced layers
+//!    where pure edge difference, seeing every grid node alike, would
+//!    build deep chains with snowballing shortcut fan-out. Priorities are
+//!    recomputed lazily on pop (re-inserted when stale), with node id as
+//!    the deterministic tie-break.
+//! 2. **Shortcut insertion** — contracting `v` adds `u → x` with weight
+//!    `w(u,v) + w(v,x)` for every in/out neighbor pair unless a bounded
+//!    **witness search** (Dijkstra from `u` avoiding `v`, capped at
+//!    [`WITNESS_SETTLE_LIMIT`] settled nodes) already proves a path at most
+//!    that long. The search exits as soon as every shortcut target is
+//!    settled, and a truncated search errs toward *adding* the shortcut —
+//!    never toward dropping one — so limits trade preprocessing time for
+//!    a few redundant edges, not correctness.
+//! 3. **Upward/downward CSR split** — the final edge set (originals +
+//!    shortcuts, deduplicated to minimum weight per arc, then pruned of
+//!    strictly dominated arcs by a second witness pass) is split into an
+//!    upward graph (arcs into higher-ranked nodes, searched forward from
+//!    the source) and a downward graph (arcs into lower-ranked nodes,
+//!    stored reversed and searched backward from the target).
+//! 4. **Core distance table** — on grid-like networks the bidirectional
+//!    upward search space grows like √n (unlike the near-constant top of
+//!    motorway hierarchies), so the top [`CORE_SIZE`] ranks become a
+//!    *core*: their exact pairwise distances go into a flat table (one
+//!    Dijkstra per core node over the core subgraph, which contains the
+//!    full remainder graph at that point of the contraction and is
+//!    therefore distance-exact). Searches below treat the core as a wall.
+//! 5. **Access-node sets** — for every node and direction, a build-time
+//!    upward search below the core collects the node's core entry points
+//!    `(core index, distance)`. Entries dominated through the table
+//!    (`d(a) + T[a→f] ≤ d(f)` for an already-kept `a`) are dropped;
+//!    tens of thousands of potential entries shrink to ~20 per node.
+//!
+//! Initial priorities, core-table rows and access-node sets are
+//! embarrassingly parallel and run through the workspace's deterministic
+//! fork-join ([`watter_core::Exec`]); the contraction loop itself is
+//! sequential, so the hierarchy is bit-identical for every thread count
+//! (`tests/oracle.rs` proves it).
+//!
+//! # Queries
+//!
+//! `cost(a, b)` on a thread-local, allocation-free workspace
+//! (touched-entry reset, same discipline as
+//! [`DijkstraWorkspace`](crate::DijkstraWorkspace)):
+//!
+//! 1. **Access join** — every path whose highest-ranked node lies *in*
+//!    the core costs `d(s→f) + T[f→b] + d(b→t)` for some access pair;
+//!    both access lists are distance-sorted, so the scan early-exits on
+//!    the table's lower bound.
+//! 2. **Local phases** — paths whose peak stays *below* the core are
+//!    rank-increasing then rank-decreasing and never touch it, so a
+//!    bidirectional upward meet over the below-core arc prefix finds
+//!    them. Each side runs as goal-directed A* (the admissible geometric
+//!    potential `γ · euclid` from [`RoadGraph::min_cost_per_unit_distance`])
+//!    with stall-on-demand, pruned by the join bound — for cross-city
+//!    pairs the join answer kills the local cones almost immediately.
+//!
+//! Distances saturate at [`UNREACHABLE`] exactly like every other
+//! backend, so adversarial weights cannot wrap and disconnected pairs
+//! answer `UNREACHABLE`. Directed (asymmetric) graphs are handled
+//! natively — no symmetry fallback is needed.
+
+use crate::dijkstra::UNREACHABLE;
+use crate::graph::RoadGraph;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use watter_core::{Dur, Exec, NodeId, TravelBound, TravelCost};
+
+/// Witness searches stop after settling this many nodes. Larger limits
+/// find more witnesses (fewer redundant shortcuts, slower preprocessing);
+/// smaller limits do the opposite. Correctness never depends on it. The
+/// search also stops as soon as every shortcut target is settled, so this
+/// backstop only binds on pathologically dense neighborhoods — a limit
+/// that is too small poisons the hierarchy (every timeout adds a
+/// redundant shortcut, inflating degrees and causing more timeouts).
+const WITNESS_SETTLE_LIMIT: usize = 1_500;
+
+/// Weight of the `deleted_neighbors` term in the contraction priority.
+/// Keeping contraction spread across the graph (instead of eating one
+/// region hole-first) bounds shortcut fan-out on grid-like networks.
+const DELETED_NEIGHBOR_WEIGHT: i64 = 1;
+
+/// Weight of the hierarchy-depth term in the contraction priority.
+/// `depth[v] = 1 + max(depth of contracted neighbors)` approximates the
+/// node's level in the hierarchy; penalizing it contracts the graph in
+/// balanced layers instead of deep chains — the decisive quality term on
+/// grid-like networks, where pure edge difference sees every node alike.
+const DEPTH_WEIGHT: i64 = 4;
+
+/// Upper bound on the distance-table core. The top of the hierarchy is
+/// where bidirectional upward searches spend most of their settles on
+/// grid-like networks (search space grows like √n with the grid, unlike
+/// the near-constant top on motorway networks), so the top `CORE_SIZE`
+/// ranks keep their exact pairwise distances in a table and the searches
+/// stop at the core boundary instead of climbing through it.
+const CORE_SIZE: usize = 2_048;
+
+/// A directed arc of the remaining (uncontracted) graph during
+/// preprocessing.
+#[derive(Clone, Copy, Debug)]
+struct Arc_ {
+    other: u32,
+    weight: Dur,
+}
+
+/// Exact contraction-hierarchy travel-cost oracle.
+///
+/// Build once per graph ([`ChOracle::build`]); queries are `&self` and run
+/// on a thread-local workspace, so one instance serves the parallel
+/// dispatch engine without locking.
+#[derive(Debug)]
+pub struct ChOracle {
+    graph: Arc<RoadGraph>,
+    /// Contraction rank per node (0 = contracted first / least important).
+    rank: Vec<u32>,
+    /// Upward graph in *rank space*: CSR over ranks of arcs `u → v` with
+    /// `rank[v] > rank[u]`. Rank indexing is a locality optimization:
+    /// both search directions spend most of their settles near the top of
+    /// the hierarchy, so the hot end of the distance arrays and CSRs is a
+    /// contiguous (cache-resident) region instead of nodes scattered
+    /// across the id space.
+    up: SplitCsr,
+    /// Downward graph in rank space, reversed: for each rank `v`, arcs
+    /// `u → v` with `rank[u] > rank[v]`, stored as `(u, w)` so the
+    /// backward search relaxes them from `v`.
+    down: SplitCsr,
+    /// First rank inside the distance-table core; ranks `>= core_start`
+    /// never relax arcs at query time — the searches record them as entry
+    /// points and the table answers the traversal between them.
+    core_start: u32,
+    /// Row-major `(n - core_start)²` exact pairwise distances between core
+    /// nodes (rank space, saturated at [`UNREACHABLE`]).
+    core_table: Vec<Dur>,
+    /// Forward access nodes per rank: the distance-sorted, domination-pruned
+    /// core entry points of the below-core upward cone (`targets` hold core
+    /// indices, `weights` exact distances). Precomputing these turns the
+    /// core traversal of a query into `|A(s)| · |A(t)|` table lookups.
+    fwd_access: SplitCsr,
+    /// Backward mirror: access nodes of the reversed-downward cone.
+    bwd_access: SplitCsr,
+    /// Node coordinates in rank order, for the geometric A* potential of
+    /// the local query phases.
+    coords: Vec<(f64, f64)>,
+    /// [`RoadGraph::min_cost_per_unit_distance`], cached at build.
+    gamma: f64,
+    /// Shortcut arcs added by preprocessing (diagnostic).
+    shortcuts: usize,
+}
+
+/// Minimal CSR used for the upward/downward halves. Each node's arc list
+/// keeps below-core targets first (`local_end` marks the boundary), so the
+/// query's local phases iterate exactly the arcs they may relax.
+#[derive(Debug, Default, PartialEq)]
+struct SplitCsr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<Dur>,
+    local_end: Vec<u32>,
+}
+
+impl SplitCsr {
+    /// `cs` is the first core rank: targets `>= cs` sort to the back of
+    /// each node's list and `local_end` points at the split.
+    fn from_arcs(n: usize, mut arcs: Vec<(u32, u32, Dur)>, cs: u32) -> Self {
+        arcs.sort_unstable_by_key(|&(from, to, w)| (from, to >= cs, to, w));
+        let mut offsets = vec![0u32; n + 1];
+        for &(from, _, _) in &arcs {
+            offsets[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut local_end: Vec<u32> = offsets[..n].to_vec();
+        for (i, &(from, to, _)) in arcs.iter().enumerate() {
+            if to < cs {
+                local_end[from as usize] = i as u32 + 1;
+            }
+        }
+        Self {
+            offsets,
+            targets: arcs.iter().map(|a| a.1).collect(),
+            weights: arcs.iter().map(|a| a.2).collect(),
+            local_end,
+        }
+    }
+
+    #[inline]
+    fn arcs(&self, u: u32) -> (&[u32], &[Dur]) {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// The below-core prefix of `arcs(u)`.
+    #[inline]
+    fn local_arcs(&self, u: u32) -> (&[u32], &[Dur]) {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.local_end[u as usize] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Concatenate per-node entry lists *preserving their order* (unlike
+    /// [`SplitCsr::from_arcs`], which sorts by target) — access sets are
+    /// distance-sorted and the query's early exit depends on that.
+    fn from_sets(sets: Vec<Vec<(u32, Dur)>>) -> Self {
+        let mut offsets = vec![0u32; sets.len() + 1];
+        for (i, s) in sets.iter().enumerate() {
+            offsets[i + 1] = offsets[i] + s.len() as u32;
+        }
+        Self {
+            local_end: offsets[1..].to_vec(),
+            targets: sets.iter().flatten().map(|e| e.0).collect(),
+            weights: sets.iter().flatten().map(|e| e.1).collect(),
+            offsets,
+        }
+    }
+}
+
+/// Reusable scratch for one witness search (bounded Dijkstra).
+#[derive(Default)]
+struct WitnessWorkspace {
+    dist: Vec<Dur>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Reverse<(Dur, u32)>>,
+    /// Shortcut targets not yet settled; the search stops when empty.
+    pending: Vec<u32>,
+}
+
+impl WitnessWorkspace {
+    fn begin(&mut self, n: usize) {
+        for &t in &self.touched {
+            self.dist[t as usize] = UNREACHABLE;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        if self.dist.len() < n {
+            self.dist.resize(n, UNREACHABLE);
+        }
+    }
+
+    /// Bounded multi-target Dijkstra from `src` over `fwd`, skipping the
+    /// node being contracted (`banned`) and stopping once every node in
+    /// `targets` is settled, `limit` nodes are settled, or the frontier
+    /// exceeds `cap`. Afterwards `self.dist` holds (possibly truncated)
+    /// witness distances. The target-settled exit is what keeps large
+    /// `limit`s affordable: in a healthy hierarchy the handful of shortcut
+    /// endpoints settle after a small local exploration.
+    fn search(
+        &mut self,
+        fwd: &[Vec<Arc_>],
+        src: u32,
+        banned: u32,
+        cap: Dur,
+        limit: usize,
+        targets: &[u32],
+    ) {
+        self.begin(fwd.len());
+        self.pending.clear();
+        self.pending.extend(targets.iter().filter(|&&t| t != src));
+        self.dist[src as usize] = 0;
+        self.touched.push(src);
+        self.heap.push(Reverse((0, src)));
+        let mut settled = 0;
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            if let Some(i) = self.pending.iter().position(|&t| t == u) {
+                self.pending.swap_remove(i);
+                if self.pending.is_empty() {
+                    break;
+                }
+            }
+            settled += 1;
+            if settled > limit || d > cap {
+                break;
+            }
+            for a in &fwd[u as usize] {
+                if a.other == banned {
+                    continue;
+                }
+                let nd = d.saturating_add(a.weight).min(UNREACHABLE);
+                if nd < self.dist[a.other as usize] {
+                    if self.dist[a.other as usize] >= UNREACHABLE {
+                        self.touched.push(a.other);
+                    }
+                    self.dist[a.other as usize] = nd;
+                    self.heap.push(Reverse((nd, a.other)));
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread witness scratch (preprocessing) — initial priorities run
+    /// under the fork-join executor, so each thread needs its own.
+    static WITNESS: RefCell<WitnessWorkspace> = RefCell::new(WitnessWorkspace::default());
+    /// Per-thread query scratch: repeated queries allocate nothing.
+    static QUERY: RefCell<ChWorkspace> = RefCell::new(ChWorkspace::default());
+}
+
+/// Settle cap for the arc-reduction searches (see [`reduce_arcs`]).
+const REDUCTION_SETTLE_LIMIT: usize = 1_000;
+
+/// Remove every arc `u → v` that a *multi-hop* path in the same graph
+/// strictly beats. Witness searches only see the remaining graph at
+/// contraction time, so shortcuts added late routinely dominate arcs kept
+/// early; queries then relax the dominated arcs for nothing. Dropping an
+/// arc only when a strictly shorter path exists keeps all distances exact
+/// (the witness path survives any removal order), so the pass is safe to
+/// run on either search half independently. Returns the arcs removed.
+fn reduce_arcs(adj: &mut [Vec<Arc_>], n: usize) -> usize {
+    let mut removed = 0;
+    for u in 0..n as u32 {
+        if adj[u as usize].len() < 2 {
+            continue; // a dominating path must start with a different arc
+        }
+        let targets: Vec<u32> = adj[u as usize].iter().map(|a| a.other).collect();
+        let cap = adj[u as usize]
+            .iter()
+            .map(|a| a.weight)
+            .max()
+            .unwrap_or(0)
+            .min(UNREACHABLE);
+        WITNESS.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            // No banned node: the search may use every arc, including the
+            // one under test — `dist[v] < w` then certifies a multi-hop
+            // path strictly shorter than the direct arc.
+            ws.search(adj, u, u32::MAX, cap, REDUCTION_SETTLE_LIMIT, &targets);
+            let before = adj[u as usize].len();
+            let dist = &ws.dist;
+            adj[u as usize].retain(|a| dist[a.other as usize] >= a.weight);
+            removed += before - adj[u as usize].len();
+        });
+    }
+    removed
+}
+
+/// The shortcuts contracting `v` would add (`None`) or does add
+/// (`Some(sink)`), given the remaining graph. Pure function of
+/// `(fwd, bwd, v)` — this is what runs under the fork-join executor.
+fn contraction_shortcuts(
+    fwd: &[Vec<Arc_>],
+    bwd: &[Vec<Arc_>],
+    v: u32,
+    mut emit: impl FnMut(u32, u32, Dur),
+) -> i64 {
+    let mut added = 0i64;
+    let targets: Vec<u32> = fwd[v as usize].iter().map(|out| out.other).collect();
+    for inc in &bwd[v as usize] {
+        let u = inc.other;
+        // Cap the witness search at the worst chain through v.
+        let cap = fwd[v as usize]
+            .iter()
+            .map(|out| inc.weight.saturating_add(out.weight))
+            .max()
+            .unwrap_or(0)
+            .min(UNREACHABLE);
+        WITNESS.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            ws.search(fwd, u, v, cap, WITNESS_SETTLE_LIMIT, &targets);
+            for out in &fwd[v as usize] {
+                let x = out.other;
+                if x == u {
+                    continue;
+                }
+                let via = inc.weight.saturating_add(out.weight).min(UNREACHABLE);
+                if via >= UNREACHABLE {
+                    continue; // indistinguishable from no path
+                }
+                if ws.dist[x as usize] <= via {
+                    continue; // witness found: shortcut redundant
+                }
+                added += 1;
+                emit(u, x, via);
+            }
+        });
+    }
+    added
+}
+
+/// Contraction priority of `v`: shortcuts added minus arcs removed, plus
+/// the deleted-neighbors term that spreads contraction uniformly and the
+/// depth term that keeps the hierarchy in balanced layers.
+fn priority(fwd: &[Vec<Arc_>], bwd: &[Vec<Arc_>], v: u32, deleted: i64, depth: i64) -> i64 {
+    let removed = (fwd[v as usize].len() + bwd[v as usize].len()) as i64;
+    let added = contraction_shortcuts(fwd, bwd, v, |_, _, _| {});
+    added - removed + DELETED_NEIGHBOR_WEIGHT * deleted + DEPTH_WEIGHT * depth
+}
+
+impl ChOracle {
+    /// Preprocess `graph` into a contraction hierarchy, sequentially.
+    pub fn build(graph: Arc<RoadGraph>) -> Self {
+        Self::build_with_exec(graph, &Exec::sequential())
+    }
+
+    /// Preprocess with initial priorities computed on `exec`'s fork-join
+    /// threads. The hierarchy is bit-identical for every thread count: the
+    /// parallel stage is a pure order-preserving map, and the contraction
+    /// loop is sequential with deterministic tie-breaks.
+    pub fn build_with_exec(graph: Arc<RoadGraph>, exec: &Exec) -> Self {
+        let n = graph.node_count();
+
+        // Working adjacency of the *remaining* graph, deduplicated to the
+        // minimum weight per arc (parallel arcs never matter for shortest
+        // paths). Contracted nodes are disconnected as we go.
+        let mut fwd: Vec<Vec<Arc_>> = vec![Vec::new(); n];
+        let mut bwd: Vec<Vec<Arc_>> = vec![Vec::new(); n];
+        for u in graph.nodes() {
+            let (targets, weights) = graph.out_edges(u);
+            let mut last: Option<u32> = None;
+            for (&v, &w) in targets.iter().zip(weights) {
+                if v == u.0 {
+                    continue; // self loops are never on a shortest path
+                }
+                // out_edges is sorted by target, so duplicates are runs;
+                // the first of a run has the minimum weight only if sorted
+                // by weight too — compare explicitly instead.
+                if last == Some(v) {
+                    if let Some(a) = fwd[u.0 as usize].last_mut() {
+                        if w < a.weight {
+                            a.weight = w;
+                            if let Some(b) = bwd[v as usize].last_mut() {
+                                b.weight = w;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                last = Some(v);
+                fwd[u.0 as usize].push(Arc_ {
+                    other: v,
+                    weight: w,
+                });
+                bwd[v as usize].push(Arc_ {
+                    other: u.0,
+                    weight: w,
+                });
+            }
+        }
+
+        // Original (deduplicated) arcs, later merged with shortcuts.
+        let mut all_arcs: Vec<(u32, u32, Dur)> = Vec::new();
+        for u in 0..n as u32 {
+            for a in &fwd[u as usize] {
+                all_arcs.push((u, a.other, a.weight));
+            }
+        }
+
+        // Initial priorities: pure per-node work, fanned out deterministically.
+        let init: Vec<i64> = exec.map_indexed(n, |v| priority(&fwd, &bwd, v as u32, 0, 0));
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = (0..n as u32)
+            .map(|v| Reverse((init[v as usize], v)))
+            .collect();
+
+        let mut rank = vec![0u32; n];
+        let mut deleted = vec![0i64; n];
+        let mut depth = vec![0i64; n];
+        let mut contracted = vec![false; n];
+        let mut shortcuts: Vec<(u32, u32, Dur)> = Vec::new();
+        let mut next_rank = 0u32;
+
+        while let Some(Reverse((p, v))) = heap.pop() {
+            if contracted[v as usize] {
+                continue;
+            }
+            // Lazy update: recompute; if the node no longer wins, requeue.
+            let fresh = priority(&fwd, &bwd, v, deleted[v as usize], depth[v as usize]);
+            if fresh > p {
+                if let Some(&Reverse((top, _))) = heap.peek() {
+                    if fresh > top {
+                        heap.push(Reverse((fresh, v)));
+                        continue;
+                    }
+                }
+            }
+
+            // Contract v: materialize its shortcuts into the remaining
+            // graph and the final arc set, then disconnect it.
+            let mut new_arcs: Vec<(u32, u32, Dur)> = Vec::new();
+            contraction_shortcuts(&fwd, &bwd, v, |u, x, w| new_arcs.push((u, x, w)));
+            for &(u, x, w) in &new_arcs {
+                // Keep the remaining graph deduplicated: tighten an
+                // existing arc in place, insert otherwise.
+                match fwd[u as usize].iter_mut().find(|a| a.other == x) {
+                    Some(a) if a.weight <= w => {}
+                    Some(a) => {
+                        a.weight = w;
+                        if let Some(b) = bwd[x as usize].iter_mut().find(|a| a.other == u) {
+                            b.weight = w;
+                        }
+                    }
+                    None => {
+                        fwd[u as usize].push(Arc_ {
+                            other: x,
+                            weight: w,
+                        });
+                        bwd[x as usize].push(Arc_ {
+                            other: u,
+                            weight: w,
+                        });
+                    }
+                }
+                shortcuts.push((u, x, w));
+            }
+
+            // Disconnect v; bump the deleted-neighbors and depth terms of
+            // its (still uncontracted) neighborhood.
+            let out = std::mem::take(&mut fwd[v as usize]);
+            for a in &out {
+                bwd[a.other as usize].retain(|b| b.other != v);
+                deleted[a.other as usize] += 1;
+                depth[a.other as usize] = depth[a.other as usize].max(depth[v as usize] + 1);
+            }
+            let inc = std::mem::take(&mut bwd[v as usize]);
+            for a in &inc {
+                fwd[a.other as usize].retain(|b| b.other != v);
+                deleted[a.other as usize] += 1;
+                depth[a.other as usize] = depth[a.other as usize].max(depth[v as usize] + 1);
+            }
+
+            contracted[v as usize] = true;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+        }
+
+        // Final arc set: originals + shortcuts, minimum weight per arc.
+        let shortcut_count = shortcuts.len();
+        all_arcs.extend(shortcuts);
+        all_arcs.sort_unstable_by_key(|&(u, v, w)| (u, v, w));
+        all_arcs.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        let core_len = CORE_SIZE.min(n / 4);
+        let core_start = (n - core_len) as u32;
+        let mut up_adj: Vec<Vec<Arc_>> = vec![Vec::new(); n];
+        let mut down_adj: Vec<Vec<Arc_>> = vec![Vec::new(); n];
+        for &(u, v, w) in &all_arcs {
+            let (ru, rv) = (rank[u as usize], rank[v as usize]);
+            if rv > ru {
+                up_adj[ru as usize].push(Arc_ {
+                    other: rv,
+                    weight: w,
+                });
+            } else {
+                // Reversed: the backward search relaxes (v ← u) from v.
+                down_adj[rv as usize].push(Arc_ {
+                    other: ru,
+                    weight: w,
+                });
+            }
+        }
+
+        // Arc reduction: late shortcuts dominate early arcs; prune them so
+        // queries never relax an arc a shorter multi-hop path beats.
+        reduce_arcs(&mut up_adj, n);
+        reduce_arcs(&mut down_adj, n);
+
+        // Distance-table core. The arcs among the top `core_len` ranks are
+        // a superset of the remaining graph at the moment every lower node
+        // had been contracted, so shortest paths inside that subgraph equal
+        // full-graph distances between core nodes (the contraction
+        // invariant); one full Dijkstra per core node — fanned out on the
+        // executor, order-preserving, so still deterministic — fills the
+        // table. `n / 4` keeps small graphs honest: even unit tests cross
+        // the core code path instead of leaving it to metropolis runs.
+        let mut core_adj: Vec<Vec<Arc_>> = vec![Vec::new(); core_len];
+        for u in core_start..n as u32 {
+            for a in &up_adj[u as usize] {
+                core_adj[(u - core_start) as usize].push(Arc_ {
+                    other: a.other - core_start,
+                    weight: a.weight,
+                });
+            }
+            // `down_adj[u]` stores the real arc `a.other → u` reversed.
+            for a in &down_adj[u as usize] {
+                core_adj[(a.other - core_start) as usize].push(Arc_ {
+                    other: u - core_start,
+                    weight: a.weight,
+                });
+            }
+        }
+        let core_table: Vec<Dur> = exec
+            .map_indexed(core_len, |i| {
+                WITNESS.with(|ws| {
+                    let mut ws = ws.borrow_mut();
+                    ws.search(&core_adj, i as u32, u32::MAX, UNREACHABLE, usize::MAX, &[]);
+                    ws.dist[..core_len].to_vec()
+                })
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        let collect = |adj: &[Vec<Arc_>]| -> Vec<(u32, u32, Dur)> {
+            adj.iter()
+                .enumerate()
+                .flat_map(|(u, arcs)| arcs.iter().map(move |a| (u as u32, a.other, a.weight)))
+                .collect()
+        };
+        let up = SplitCsr::from_arcs(n, collect(&up_adj), core_start);
+        let down = SplitCsr::from_arcs(n, collect(&down_adj), core_start);
+
+        // Access-node sets: one exhaustive below-core cone per rank and
+        // direction, reduced to the entries no other entry dominates
+        // through the table. Another order-preserving fan-out, so the
+        // whole structure stays bit-identical across thread counts.
+        let access = |forward: bool| -> SplitCsr {
+            let (climb, stall) = if forward { (&up, &down) } else { (&down, &up) };
+            SplitCsr::from_sets(exec.map_indexed(n, |r| {
+                QUERY.with(|ws| {
+                    ws.borrow_mut().collect_access(
+                        climb,
+                        stall,
+                        n,
+                        core_start,
+                        core_len,
+                        &core_table,
+                        r as u32,
+                        forward,
+                    )
+                })
+            }))
+        };
+        let fwd_access = access(true);
+        let bwd_access = access(false);
+
+        let mut coords = vec![(0.0, 0.0); n];
+        for (v, &c) in graph.coords().iter().enumerate() {
+            coords[rank[v] as usize] = c;
+        }
+        let gamma = graph.min_cost_per_unit_distance();
+
+        Self {
+            rank,
+            up,
+            down,
+            core_start,
+            core_table,
+            fwd_access,
+            bwd_access,
+            coords,
+            gamma,
+            shortcuts: shortcut_count,
+            graph,
+        }
+    }
+
+    /// The underlying road graph.
+    pub fn graph(&self) -> &Arc<RoadGraph> {
+        &self.graph
+    }
+
+    /// Shortcut arcs added by preprocessing.
+    pub fn shortcut_count(&self) -> usize {
+        self.shortcuts
+    }
+
+    /// Contraction rank of a node (0 = contracted first).
+    pub fn rank(&self, n: NodeId) -> u32 {
+        self.rank[n.index()]
+    }
+
+    /// Resident bytes of the search structure (both CSR halves + ranks).
+    pub fn resident_bytes(&self) -> usize {
+        let csr = |c: &SplitCsr| {
+            c.offsets.len() * 4 + c.targets.len() * 4 + c.weights.len() * std::mem::size_of::<Dur>()
+        };
+        csr(&self.up)
+            + csr(&self.down)
+            + csr(&self.fwd_access)
+            + csr(&self.bwd_access)
+            + self.rank.len() * 4
+            + self.core_table.len() * std::mem::size_of::<Dur>()
+            + self.coords.len() * std::mem::size_of::<(f64, f64)>()
+    }
+
+    /// Admissible geometric lower bound on the travel cost between two
+    /// ranks: `γ · euclid`, shaved by a relative and absolute margin so
+    /// float rounding can never push it above the true cost (see
+    /// [`RoadGraph::min_cost_per_unit_distance`] for why the bound holds).
+    #[inline]
+    fn geo_bound(&self, u: u32, to: (f64, f64)) -> Dur {
+        let (x, y) = self.coords[u as usize];
+        let (dx, dy) = (x - to.0, y - to.1);
+        let b = (dx * dx + dy * dy).sqrt() * self.gamma;
+        if b.is_finite() && b < UNREACHABLE as f64 {
+            (((b * (1.0 - 1e-9)).floor() as Dur) - 1).max(0)
+        } else {
+            UNREACHABLE
+        }
+    }
+
+    /// Whether `b` is reachable from `a`.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        self.cost(a, b) < UNREACHABLE
+    }
+
+    /// Query + search-space diagnostics `(cost, settled, relaxed, stalled)`.
+    #[doc(hidden)]
+    pub fn cost_with_stats(&self, a: NodeId, b: NodeId) -> (Dur, [usize; 5]) {
+        QUERY.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            ws.settled = 0;
+            ws.relaxed = 0;
+            ws.stalled = 0;
+            ws.scanned = 0;
+            ws.entries = 0;
+            let c = ws.search(self, a, b);
+            (
+                c,
+                [ws.settled, ws.relaxed, ws.stalled, ws.scanned, ws.entries],
+            )
+        })
+    }
+
+    /// Structural fingerprint for determinism tests: every query-relevant
+    /// component, so two bit-identical hierarchies compare equal.
+    pub fn same_hierarchy(&self, other: &ChOracle) -> bool {
+        self.rank == other.rank
+            && self.up == other.up
+            && self.down == other.down
+            && self.core_start == other.core_start
+            && self.core_table == other.core_table
+            && self.fwd_access == other.fwd_access
+            && self.bwd_access == other.bwd_access
+            && self.coords == other.coords
+            && self.gamma == other.gamma
+            && self.shortcuts == other.shortcuts
+    }
+}
+
+/// Reusable bidirectional upward-search state.
+#[derive(Default)]
+struct ChWorkspace {
+    dist_f: Vec<Dur>,
+    dist_b: Vec<Dur>,
+    touched_f: Vec<u32>,
+    touched_b: Vec<u32>,
+    heap_f: BinaryHeap<Reverse<(Dur, Dur, u32)>>,
+    heap_b: BinaryHeap<Reverse<(Dur, Dur, u32)>>,
+    settled: usize,
+    relaxed: usize,
+    stalled: usize,
+    scanned: usize,
+    entries: usize,
+}
+
+impl ChWorkspace {
+    fn begin(&mut self, n: usize) {
+        for &t in &self.touched_f {
+            self.dist_f[t as usize] = UNREACHABLE;
+        }
+        for &t in &self.touched_b {
+            self.dist_b[t as usize] = UNREACHABLE;
+        }
+        self.touched_f.clear();
+        self.touched_b.clear();
+        self.heap_f.clear();
+        self.heap_b.clear();
+        if self.dist_f.len() < n {
+            self.dist_f.resize(n, UNREACHABLE);
+            self.dist_b.resize(n, UNREACHABLE);
+        }
+    }
+
+    /// The below-core upward cone from `start` (in rank space): an
+    /// exhaustive stalled Dijkstra over `climb` that treats the core as a
+    /// wall, collected into the distance-sorted core entry list and pruned
+    /// to the access nodes — entries no kept entry reaches more cheaply
+    /// through the table (domination is transitive, so checking against
+    /// the kept prefix suffices).
+    #[allow(clippy::too_many_arguments)]
+    fn collect_access(
+        &mut self,
+        climb: &SplitCsr,
+        stall: &SplitCsr,
+        n: usize,
+        cs: u32,
+        k: usize,
+        table: &[Dur],
+        start: u32,
+        forward: bool,
+    ) -> Vec<(u32, Dur)> {
+        self.begin(n);
+        self.dist_f[start as usize] = 0;
+        self.touched_f.push(start);
+        self.heap_f.push(Reverse((0, 0, start)));
+        let mut entries: Vec<(u32, Dur)> = Vec::new();
+        while let Some(Reverse((_, d, u))) = self.heap_f.pop() {
+            if d > self.dist_f[u as usize] {
+                continue;
+            }
+            if u >= cs {
+                entries.push((u - cs, d));
+                continue;
+            }
+            let (stall_n, stall_w) = stall.arcs(u);
+            if stall_n
+                .iter()
+                .zip(stall_w)
+                .any(|(&w_node, &w)| self.dist_f[w_node as usize].saturating_add(w) < d)
+            {
+                continue;
+            }
+            let (targets, weights) = climb.arcs(u);
+            for (&v, &w) in targets.iter().zip(weights) {
+                let nd = d.saturating_add(w).min(UNREACHABLE);
+                if nd < self.dist_f[v as usize] {
+                    if self.dist_f[v as usize] >= UNREACHABLE {
+                        self.touched_f.push(v);
+                    }
+                    self.dist_f[v as usize] = nd;
+                    self.heap_f.push(Reverse((nd, nd, v)));
+                }
+            }
+        }
+        entries.sort_unstable_by_key(|&(i, d)| (d, i));
+        let mut kept: Vec<(u32, Dur)> = Vec::new();
+        'entry: for &(f, df) in &entries {
+            for &(a, da) in &kept {
+                // Forward: s → a, then core path a → f. Backward entries
+                // carry tail distances, so the core path runs f-ward:
+                // f → a, then a → t.
+                let t = if forward {
+                    table[a as usize * k + f as usize]
+                } else {
+                    table[f as usize * k + a as usize]
+                };
+                if da.saturating_add(t) <= df {
+                    continue 'entry;
+                }
+            }
+            kept.push((f, df));
+        }
+        kept
+    }
+
+    fn search(&mut self, ch: &ChOracle, src: NodeId, dst: NodeId) -> Dur {
+        let n = ch.rank.len();
+        self.begin(n);
+        // The whole search runs in rank space (see `ChOracle::up`).
+        let cs = ch.core_start;
+        let k = n - cs as usize;
+        let (rs, rd) = (ch.rank[src.index()], ch.rank[dst.index()]);
+        let mut best = if src == dst { 0 } else { UNREACHABLE };
+
+        // Access join first: every path through the core is the cheapest
+        // `s → f (access), f → b (table), b → t (access)` combination.
+        // Both sets are distance-sorted, so the running best bounds both
+        // loops (the table term is non-negative).
+        let (af_n, af_d) = ch.fwd_access.arcs(rs);
+        let (ab_n, ab_d) = ch.bwd_access.arcs(rd);
+        self.entries += af_n.len() + ab_n.len();
+        if let Some(&db_min) = ab_d.first() {
+            for (&f, &df) in af_n.iter().zip(af_d) {
+                if df.saturating_add(db_min) >= best {
+                    break;
+                }
+                let row = &ch.core_table[f as usize * k..(f as usize + 1) * k];
+                for (&b, &db) in ab_n.iter().zip(ab_d) {
+                    if df.saturating_add(db) >= best {
+                        break;
+                    }
+                    self.scanned += 1;
+                    let cand = df
+                        .saturating_add(row[b as usize])
+                        .saturating_add(db)
+                        .min(UNREACHABLE);
+                    best = best.min(cand);
+                }
+            }
+        }
+
+        // Local phases cover paths whose peak lies below the core — an
+        // up-path is rank-increasing, so such paths never touch it and the
+        // classic bidirectional meet finds them. The core is a wall here
+        // (never relaxed into); `best` from the join is a valid upper
+        // bound, so both directions prune on it. Each phase runs as an A*
+        // toward the far endpoint: the geometric potential is consistent,
+        // so labels are final when settled, and a frontier whose `f`
+        // reaches `best` cannot complete any cheaper below-core path —
+        // for cross-city pairs the join bound kills the cone almost
+        // immediately. Backward first: its distances must be final before
+        // the forward meet checks.
+        let to_src = ch.coords[rs as usize];
+        let to_dst = ch.coords[rd as usize];
+        self.dist_b[rd as usize] = 0;
+        self.touched_b.push(rd);
+        self.heap_b.push(Reverse((ch.geo_bound(rd, to_src), 0, rd)));
+        while let Some(Reverse((f, d, u))) = self.heap_b.pop() {
+            if f >= best {
+                break;
+            }
+            if d > self.dist_b[u as usize] || u >= cs {
+                continue;
+            }
+            self.settled += 1;
+            // Stall-on-demand: a cheaper u → t tail through an *upward*
+            // arc u → w dominates this label; relaxing it only floods the
+            // hierarchy. (u still counts as a meet point; that is valid.)
+            // Core neighbours never carry finite local distances (relaxation
+            // stays below the wall), so the below-core prefix suffices.
+            let (stall_tgts, stall_ws) = ch.up.local_arcs(u);
+            let stalled = stall_tgts
+                .iter()
+                .zip(stall_ws)
+                .any(|(&w_node, &w)| self.dist_b[w_node as usize].saturating_add(w) < d);
+            if stalled {
+                self.stalled += 1;
+                continue;
+            }
+            let (targets, weights) = ch.down.local_arcs(u);
+            for (&v, &w) in targets.iter().zip(weights) {
+                self.relaxed += 1;
+                let nd = d.saturating_add(w).min(UNREACHABLE);
+                if nd < self.dist_b[v as usize] {
+                    if self.dist_b[v as usize] >= UNREACHABLE {
+                        self.touched_b.push(v);
+                    }
+                    self.dist_b[v as usize] = nd;
+                    let nf = nd.saturating_add(ch.geo_bound(v, to_src));
+                    if nf < best {
+                        self.heap_b.push(Reverse((nf, nd, v)));
+                    }
+                }
+            }
+        }
+
+        // Forward phase, with meet checks against the final backward
+        // distances. Any candidate through a popped label costs at least
+        // that label, so `d >= best` ends the search.
+        self.dist_f[rs as usize] = 0;
+        self.touched_f.push(rs);
+        self.heap_f.push(Reverse((ch.geo_bound(rs, to_dst), 0, rs)));
+        while let Some(Reverse((f, d, u))) = self.heap_f.pop() {
+            if f >= best {
+                break;
+            }
+            if d > self.dist_f[u as usize] || u >= cs {
+                continue;
+            }
+            self.settled += 1;
+            let meet = d.saturating_add(self.dist_b[u as usize]).min(UNREACHABLE);
+            best = best.min(meet);
+            // Mirror image of the backward stall: a higher-ranked w that
+            // reaches u more cheaply through a *downward* arc w → u
+            // (again only below-core w can hold a finite distance).
+            let (stall_srcs, stall_ws) = ch.down.local_arcs(u);
+            let stalled = stall_srcs
+                .iter()
+                .zip(stall_ws)
+                .any(|(&w_node, &w)| self.dist_f[w_node as usize].saturating_add(w) < d);
+            if stalled {
+                self.stalled += 1;
+                continue;
+            }
+            let (targets, weights) = ch.up.local_arcs(u);
+            for (&v, &w) in targets.iter().zip(weights) {
+                self.relaxed += 1;
+                let nd = d.saturating_add(w).min(UNREACHABLE);
+                if nd < self.dist_f[v as usize] {
+                    if self.dist_f[v as usize] >= UNREACHABLE {
+                        self.touched_f.push(v);
+                    }
+                    self.dist_f[v as usize] = nd;
+                    let nf = nd.saturating_add(ch.geo_bound(v, to_dst));
+                    if nf < best {
+                        self.heap_f.push(Reverse((nf, nd, v)));
+                    }
+                }
+            }
+        }
+        best.min(UNREACHABLE)
+    }
+}
+
+impl TravelCost for ChOracle {
+    fn cost(&self, a: NodeId, b: NodeId) -> Dur {
+        if a == b {
+            return 0;
+        }
+        QUERY.with(|ws| ws.borrow_mut().search(self, a, b))
+    }
+}
+
+impl TravelBound for ChOracle {
+    /// CH queries are exact and microsecond-scale, so — like the dense
+    /// table — the tightest admissible bound *is* the cost itself.
+    #[inline]
+    fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
+        self.cost(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citygen::CityConfig;
+    use crate::dijkstra::DijkstraOracle;
+    use crate::graph::Edge;
+    use crate::matrix::CostMatrix;
+
+    fn city(w: usize, h: usize, seed: u64) -> Arc<RoadGraph> {
+        Arc::new(
+            CityConfig {
+                width: w,
+                height: h,
+                ..Default::default()
+            }
+            .generate(seed),
+        )
+    }
+
+    #[test]
+    fn matches_dense_table_on_all_pairs() {
+        let g = city(8, 7, 3);
+        let dense = CostMatrix::build(&g);
+        let ch = ChOracle::build(g.clone());
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(ch.cost(a, b), dense.cost(a, b), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_disconnected_graph() {
+        let coords = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let e = |a: u32, b: u32, t: i64| Edge {
+            from: NodeId(a),
+            to: NodeId(b),
+            travel: t,
+        };
+        let g = Arc::new(RoadGraph::from_undirected_edges(
+            coords,
+            vec![e(0, 1, 5), e(1, 2, 7), e(3, 4, 11), e(4, 5, 2)],
+        ));
+        let ch = ChOracle::build(g.clone());
+        let dij = DijkstraOracle::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(ch.cost(a, b), dij.cost(a, b), "{a} -> {b}");
+            }
+        }
+        assert!(!ch.reachable(NodeId(0), NodeId(3)));
+        assert!(ch.reachable(NodeId(3), NodeId(5)));
+    }
+
+    #[test]
+    fn handles_directed_one_way_streets() {
+        // 0 → 1 → 2 cheap chain, slow direct 0 → 2, nothing back.
+        let g = Arc::new(RoadGraph::from_edges(
+            vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+            vec![
+                Edge {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    travel: 3,
+                },
+                Edge {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    travel: 4,
+                },
+                Edge {
+                    from: NodeId(0),
+                    to: NodeId(2),
+                    travel: 20,
+                },
+            ],
+        ));
+        let ch = ChOracle::build(g.clone());
+        let dij = DijkstraOracle::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(ch.cost(a, b), dij.cost(a, b), "{a} -> {b}");
+            }
+        }
+        assert_eq!(ch.cost(NodeId(0), NodeId(2)), 7);
+        assert!(!ch.reachable(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn parallel_and_duplicate_edges_keep_minimum() {
+        let e = |a: u32, b: u32, t: i64| Edge {
+            from: NodeId(a),
+            to: NodeId(b),
+            travel: t,
+        };
+        // Duplicate arcs with different weights plus a self loop.
+        let g = Arc::new(RoadGraph::from_edges(
+            vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+            vec![
+                e(0, 1, 9),
+                e(0, 1, 4),
+                e(1, 1, 1),
+                e(1, 2, 6),
+                e(1, 2, 8),
+                e(2, 0, 5),
+            ],
+        ));
+        let ch = ChOracle::build(g.clone());
+        let dij = DijkstraOracle::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(ch.cost(a, b), dij.cost(a, b), "{a} -> {b}");
+            }
+        }
+        assert_eq!(ch.cost(NodeId(0), NodeId(2)), 10);
+    }
+
+    #[test]
+    fn adversarial_weights_saturate() {
+        let coords = (0..3).map(|i| (i as f64, 0.0)).collect();
+        let edges = (0..2)
+            .map(|i| Edge {
+                from: NodeId(i),
+                to: NodeId(i + 1),
+                travel: Dur::MAX / 3,
+            })
+            .collect();
+        let g = Arc::new(RoadGraph::from_undirected_edges(coords, edges));
+        let ch = ChOracle::build(g.clone());
+        for a in g.nodes() {
+            for b in g.nodes() {
+                let d = ch.cost(a, b);
+                assert!((0..=UNREACHABLE).contains(&d), "{a} -> {b} = {d}");
+            }
+        }
+        assert_eq!(ch.cost(NodeId(0), NodeId(2)), UNREACHABLE);
+    }
+
+    #[test]
+    fn preprocessing_is_deterministic_across_thread_counts() {
+        let g = city(9, 8, 11);
+        let base = ChOracle::build_with_exec(g.clone(), &Exec::new(1));
+        for threads in [2, 3, 8] {
+            let other = ChOracle::build_with_exec(g.clone(), &Exec::new(threads));
+            assert!(
+                base.same_hierarchy(&other),
+                "hierarchy differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let g = city(6, 6, 2);
+        let ch = ChOracle::build(g.clone());
+        let mut seen = vec![false; g.node_count()];
+        for v in g.nodes() {
+            let r = ch.rank(v) as usize;
+            assert!(!seen[r], "duplicate rank {r}");
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(ch.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn exact_lower_bound_like_dense() {
+        let g = city(5, 5, 4);
+        let ch = ChOracle::build(g.clone());
+        for a in g.nodes().take(6) {
+            for b in g.nodes().take(6) {
+                assert_eq!(ch.lower_bound(a, b), ch.cost(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Arc::new(RoadGraph::from_edges(vec![(0.0, 0.0)], vec![]));
+        let ch = ChOracle::build(g);
+        assert_eq!(ch.cost(NodeId(0), NodeId(0)), 0);
+        assert!(ch.reachable(NodeId(0), NodeId(0)));
+        assert_eq!(ch.shortcut_count(), 0);
+    }
+}

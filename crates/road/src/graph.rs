@@ -20,7 +20,11 @@ pub struct Edge {
 }
 
 /// A directed road network in compressed-sparse-row form.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full CSR plus coordinates — two graphs are equal
+/// exactly when every query (topology, weights, coordinates) answers the
+/// same, which is what the import/export round-trip tests assert.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoadGraph {
     offsets: Vec<u32>,
     targets: Vec<u32>,

@@ -17,6 +17,10 @@
 //!   [`AltOracle`] heuristic,
 //! * [`AltOracle`] — exact landmark-guided A* point queries for 10⁵-node
 //!   cities where the dense table cannot exist,
+//! * [`ChOracle`] — contraction-hierarchy preprocessing + bidirectional
+//!   upward queries: exact microsecond point queries at 10⁵–10⁶ nodes,
+//! * [`import`] — plain-text edge-list + coordinates graph format
+//!   (importer with typed errors, exact round-trip exporter),
 //! * [`CityOracle`] — the [`watter_core::OracleKind`]-selected oracle the
 //!   workloads, simulator and CLI plug in,
 //! * [`CachedOracle`] — a sharded, fixed-capacity, deterministic
@@ -31,10 +35,12 @@
 
 pub mod astar;
 pub mod cached;
+pub mod ch;
 pub mod citygen;
 pub mod dijkstra;
 pub mod graph;
 pub mod grid;
+pub mod import;
 pub mod landmarks;
 pub mod matrix;
 pub mod oracle;
@@ -42,10 +48,12 @@ pub mod workspace;
 
 pub use astar::AltOracle;
 pub use cached::CachedOracle;
+pub use ch::ChOracle;
 pub use citygen::{CityConfig, CityTopology};
 pub use dijkstra::{shortest_path_cost, single_source};
 pub use graph::RoadGraph;
 pub use grid::GridIndex;
+pub use import::{export_graph, import_graph, parse_graph, ImportError};
 pub use landmarks::Landmarks;
 pub use matrix::CostMatrix;
 pub use oracle::CityOracle;

@@ -2,34 +2,57 @@
 //!
 //! [`CityOracle`] is the concrete realization of a
 //! [`watter_core::OracleKind`]: the dense [`CostMatrix`] for cities where
-//! `n² × 4` bytes is affordable (O(1) queries), or the landmark-guided
-//! [`AltOracle`] for 10⁵-node cities and beyond (exact point queries from
-//! `O(k·n)` memory). Both return bit-identical costs; the choice is purely
-//! a memory/latency trade-off, so workloads, the simulator and the CLI all
+//! `n² × 4` bytes is affordable (O(1) queries), the landmark-guided
+//! [`AltOracle`] when a light build matters more than query latency, or the
+//! contraction-hierarchy [`ChOracle`] for 10⁵-node cities and beyond
+//! (exact microsecond point queries after a one-off preprocessing pass).
+//! All three return bit-identical costs; the choice is purely a
+//! memory/latency trade-off, so workloads, the simulator and the CLI all
 //! pick through this one type.
 
 use crate::astar::AltOracle;
+use crate::ch::ChOracle;
 use crate::graph::RoadGraph;
 use crate::matrix::CostMatrix;
 use std::sync::Arc;
-use watter_core::{Dur, NodeId, OracleKind, TravelBound, TravelCost};
+use watter_core::{Dur, Exec, NodeId, OracleKind, TravelBound, TravelCost, DENSE_NODE_LIMIT};
 
 /// A travel-cost oracle selected by [`OracleKind`].
 #[derive(Debug)]
 pub enum CityOracle {
     /// Dense all-pairs table (small/medium cities).
     Dense(CostMatrix),
-    /// Landmark-guided A* (large cities).
+    /// Landmark-guided A* (large cities, cheap build).
     Alt(AltOracle),
+    /// Contraction hierarchy (large cities, microsecond queries). Boxed:
+    /// the hierarchy's inline header (a dozen Vec/CSR handles) dwarfs the
+    /// other variants.
+    Ch(Box<ChOracle>),
 }
 
 impl CityOracle {
-    /// Build the oracle `kind` resolves to for this graph.
+    /// Build the oracle `kind` resolves to for this graph, with the default
+    /// `Auto` dense-table threshold ([`DENSE_NODE_LIMIT`]).
     pub fn build(graph: &Arc<RoadGraph>, kind: OracleKind) -> Self {
-        match kind.resolve(graph.node_count()) {
+        Self::build_with_limit(graph, kind, DENSE_NODE_LIMIT, &Exec::sequential())
+    }
+
+    /// Build with an explicit `Auto` threshold (CLI `--dense-limit`) and a
+    /// fork-join executor for parallelizable preprocessing (currently the
+    /// CH initial-priority pass; dense builds parallelize internally).
+    pub fn build_with_limit(
+        graph: &Arc<RoadGraph>,
+        kind: OracleKind,
+        dense_limit: usize,
+        exec: &Exec,
+    ) -> Self {
+        match kind.resolve_with_limit(graph.node_count(), dense_limit) {
             OracleKind::Dense => CityOracle::Dense(CostMatrix::build(graph)),
             OracleKind::Alt { landmarks } => {
                 CityOracle::Alt(AltOracle::build(Arc::clone(graph), landmarks))
+            }
+            OracleKind::Ch => {
+                CityOracle::Ch(Box::new(ChOracle::build_with_exec(Arc::clone(graph), exec)))
             }
             OracleKind::Auto => unreachable!("resolve() never returns Auto"),
         }
@@ -40,6 +63,7 @@ impl CityOracle {
         match self {
             CityOracle::Dense(m) => m.reachable(a, b),
             CityOracle::Alt(o) => o.reachable(a, b),
+            CityOracle::Ch(o) => o.reachable(a, b),
         }
     }
 
@@ -52,6 +76,11 @@ impl CityOracle {
                 o.graph().node_count(),
                 o.landmarks().len()
             ),
+            CityOracle::Ch(o) => format!(
+                "ch[{} nodes, {} shortcuts]",
+                o.graph().node_count(),
+                o.shortcut_count()
+            ),
         }
     }
 }
@@ -62,18 +91,21 @@ impl TravelCost for CityOracle {
         match self {
             CityOracle::Dense(m) => m.cost(a, b),
             CityOracle::Alt(o) => o.cost(a, b),
+            CityOracle::Ch(o) => o.cost(a, b),
         }
     }
 }
 
 impl TravelBound for CityOracle {
     /// Dense: the exact cost (O(1)); ALT: the landmark lower bound
-    /// (`O(landmarks)`, no search).
+    /// (`O(landmarks)`, no search); CH: the exact cost (queries are cheap
+    /// enough that the tightest admissible bound is the answer itself).
     #[inline]
     fn lower_bound(&self, a: NodeId, b: NodeId) -> Dur {
         match self {
             CityOracle::Dense(m) => m.lower_bound(a, b),
             CityOracle::Alt(o) => o.lower_bound(a, b),
+            CityOracle::Ch(o) => o.lower_bound(a, b),
         }
     }
 }
@@ -101,12 +133,32 @@ mod tests {
         assert!(matches!(auto, CityOracle::Dense(_)));
         let alt = CityOracle::build(&g, OracleKind::Alt { landmarks: 4 });
         assert!(matches!(alt, CityOracle::Alt(_)));
+        let ch = CityOracle::build(&g, OracleKind::Ch);
+        assert!(matches!(ch, CityOracle::Ch(_)));
         for a in g.nodes() {
             for b in g.nodes() {
                 assert_eq!(auto.cost(a, b), alt.cost(a, b), "{a} -> {b}");
+                assert_eq!(auto.cost(a, b), ch.cost(a, b), "{a} -> {b}");
                 assert_eq!(auto.reachable(a, b), alt.reachable(a, b));
+                assert_eq!(auto.reachable(a, b), ch.reachable(a, b));
             }
         }
+    }
+
+    #[test]
+    fn dense_limit_moves_the_auto_boundary() {
+        let g = city();
+        let n = g.node_count();
+        let exec = Exec::sequential();
+        // Limit below the node count: Auto now builds the CH backend.
+        let small = CityOracle::build_with_limit(&g, OracleKind::Auto, n - 1, &exec);
+        assert!(matches!(small, CityOracle::Ch(_)));
+        // Limit exactly at the node count: still dense.
+        let exact = CityOracle::build_with_limit(&g, OracleKind::Auto, n, &exec);
+        assert!(matches!(exact, CityOracle::Dense(_)));
+        // Explicit kinds ignore the limit.
+        let forced = CityOracle::build_with_limit(&g, OracleKind::Dense, 0, &exec);
+        assert!(matches!(forced, CityOracle::Dense(_)));
     }
 
     #[test]
@@ -118,5 +170,8 @@ mod tests {
         assert!(CityOracle::build(&g, OracleKind::Alt { landmarks: 2 })
             .describe()
             .starts_with("alt["));
+        assert!(CityOracle::build(&g, OracleKind::Ch)
+            .describe()
+            .starts_with("ch["));
     }
 }

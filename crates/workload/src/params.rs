@@ -11,7 +11,7 @@
 
 use crate::profile::CityProfile;
 use serde::{Deserialize, Serialize};
-use watter_core::{DispatchParallelism, Dur, OracleKind, Ts};
+use watter_core::{DispatchParallelism, Dur, OracleKind, Ts, DENSE_NODE_LIMIT};
 
 /// All knobs of one simulated scenario.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -44,10 +44,16 @@ pub struct ScenarioParams {
     /// This is the structure that makes waiting profitable (Example 1) and
     /// is pervasive in real commute data.
     pub echo_prob: f64,
-    /// Travel-cost oracle backend: dense table, landmark A*, or pick by
-    /// node count. Both backends return bit-identical costs, so this knob
-    /// never changes the generated workload — only memory and latency.
+    /// Travel-cost oracle backend: dense table, landmark A*, contraction
+    /// hierarchy, or pick by node count. All backends return bit-identical
+    /// costs, so this knob never changes the generated workload — only
+    /// memory and latency.
     pub oracle: OracleKind,
+    /// `Auto` oracle threshold: the largest node count for which `Auto`
+    /// still builds the dense table (CLI `--dense-limit`); beyond it,
+    /// `Auto` builds the contraction hierarchy. Ignored when `oracle` is a
+    /// concrete kind.
+    pub dense_limit: usize,
     /// Wrap the oracle in a sharded memoization layer
     /// (`watter_road::CachedOracle`) for the simulation run. Cached answers
     /// are the inner oracle's answers verbatim, so dispatch outcomes are
@@ -86,6 +92,7 @@ impl ScenarioParams {
             window_span: 1800,
             echo_prob: 0.55,
             oracle: OracleKind::Auto,
+            dense_limit: DENSE_NODE_LIMIT,
             cost_cache: false,
             parallelism: DispatchParallelism::SEQUENTIAL,
             seed: 20_240_311, // arXiv submission date of the paper

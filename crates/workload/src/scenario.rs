@@ -11,7 +11,7 @@ use crate::temporal::TemporalModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use watter_core::{Order, OrderId, TravelCost, Worker, WorkerId};
+use watter_core::{Exec, Order, OrderId, TravelCost, Worker, WorkerId};
 use watter_road::{CityOracle, GridIndex, RoadGraph};
 
 /// A fully materialized experiment input.
@@ -22,8 +22,8 @@ pub struct Scenario {
     /// The synthetic road network.
     pub graph: Arc<RoadGraph>,
     /// Exact travel-time oracle, backend selected by
-    /// [`ScenarioParams::oracle`] (dense table or landmark A* — identical
-    /// costs either way).
+    /// [`ScenarioParams::oracle`] (dense table, landmark A* or contraction
+    /// hierarchy — identical costs any way).
     pub oracle: Arc<CityOracle>,
     /// Grid spatial index (worker search + MDP state quantization).
     pub grid: GridIndex,
@@ -38,7 +38,8 @@ pub struct Scenario {
 const MIN_TRIP_SECONDS: i64 = 120;
 
 impl Scenario {
-    /// Deterministically build the scenario.
+    /// Deterministically build the scenario on the profile's synthetic
+    /// city.
     pub fn build(params: ScenarioParams) -> Self {
         let graph = Arc::new(
             params
@@ -46,7 +47,22 @@ impl Scenario {
                 .city_config(params.city_side)
                 .generate(params.seed),
         );
-        let oracle = Arc::new(CityOracle::build(&graph, params.oracle));
+        Self::build_on_graph(params, graph)
+    }
+
+    /// Deterministically build the scenario on an explicit road network —
+    /// the path imported cities take (`watter-cli --import`). Demand and
+    /// fleet generation is byte-for-byte the same code as [`Self::build`];
+    /// only the graph's provenance differs, so any scenario runs unchanged
+    /// on a real street topology.
+    pub fn build_on_graph(params: ScenarioParams, graph: Arc<RoadGraph>) -> Self {
+        let exec = Exec::from_parallelism(params.parallelism);
+        let oracle = Arc::new(CityOracle::build_with_limit(
+            &graph,
+            params.oracle,
+            params.dense_limit,
+            &exec,
+        ));
         let grid = GridIndex::build(&graph, params.grid_dim);
         let mut rng = StdRng::seed_from_u64(params.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let hotspots = HotspotModel::build(
@@ -207,6 +223,40 @@ mod tests {
         assert_eq!(sd.workers, sa.workers);
         assert!(sa.oracle.describe().starts_with("alt["));
         assert!(sd.oracle.describe().starts_with("dense["));
+    }
+
+    #[test]
+    fn imported_graph_reproduces_the_synthetic_scenario() {
+        use watter_road::{export_graph, parse_graph};
+        let mut p = ScenarioParams::default_for(CityProfile::Chengdu);
+        p.n_orders = 100;
+        p.n_workers = 10;
+        p.city_side = 10;
+        let native = Scenario::build(p.clone());
+        // Round-trip the city through the interchange format: same graph,
+        // so demand and fleet generation must be bit-identical.
+        let text = export_graph(&native.graph);
+        let imported = Arc::new(parse_graph(&text).expect("exported city parses"));
+        let rebuilt = Scenario::build_on_graph(p, imported);
+        assert_eq!(native.orders, rebuilt.orders);
+        assert_eq!(native.workers, rebuilt.workers);
+    }
+
+    #[test]
+    fn ch_oracle_backend_does_not_change_the_workload() {
+        use watter_core::OracleKind;
+        let mut dense = ScenarioParams::default_for(CityProfile::Xian);
+        dense.n_orders = 120;
+        dense.n_workers = 15;
+        dense.city_side = 10;
+        dense.oracle = OracleKind::Dense;
+        let mut ch = dense.clone();
+        ch.oracle = OracleKind::Ch;
+        let sd = Scenario::build(dense);
+        let sc = Scenario::build(ch);
+        assert_eq!(sd.orders, sc.orders);
+        assert_eq!(sd.workers, sc.workers);
+        assert!(sc.oracle.describe().starts_with("ch["));
     }
 
     #[test]

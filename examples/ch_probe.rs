@@ -1,0 +1,50 @@
+use std::sync::Arc;
+use std::time::Instant;
+use watter_core::{NodeId, TravelCost};
+use watter_road::ChOracle;
+use watter_workload::CityProfile;
+
+fn main() {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let graph = Arc::new(CityProfile::Chengdu.city_config(side).generate(7));
+    let n = graph.node_count();
+    let t0 = Instant::now();
+    let ch = ChOracle::build(Arc::clone(&graph));
+    let build = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "side={side} n={n} build={build:.1}s shortcuts={} ({:.2}x n) bytes={}",
+        ch.shortcut_count(),
+        ch.shortcut_count() as f64 / n as f64,
+        ch.resident_bytes()
+    );
+    let mut acc = 0i64;
+    let t0 = Instant::now();
+    let q = 2000;
+    for i in 0..q {
+        let a = NodeId(((i * 37) % n) as u32);
+        let b = NodeId(((i * 101 + 13) % n) as u32);
+        acc = acc.wrapping_add(ch.cost(a, b));
+    }
+    std::hint::black_box(acc);
+    eprintln!("query={:.1}us", t0.elapsed().as_secs_f64() * 1e6 / q as f64);
+    let mut tot = [0usize; 5];
+    for i in 0..200 {
+        let a = NodeId(((i * 37) % n) as u32);
+        let b = NodeId(((i * 101 + 13) % n) as u32);
+        let (_, s) = ch.cost_with_stats(a, b);
+        for (t, v) in tot.iter_mut().zip(s) {
+            *t += v;
+        }
+    }
+    eprintln!(
+        "per-query: settled={} relaxed={} stalled={} scanned={} entries={}",
+        tot[0] / 200,
+        tot[1] / 200,
+        tot[2] / 200,
+        tot[3] / 200,
+        tot[4] / 200
+    );
+}

@@ -4,12 +4,14 @@
 //! ```text
 //! watter-cli run   [--profile nyc|cdc|xia] [--algo gdp|gas|nonshare|online|timeout|expect]
 //!                  [--orders N] [--workers M] [--tau F] [--kw K] [--eta F]
-//!                  [--city-side B] [--oracle auto|dense|alt] [--landmarks K]
+//!                  [--city-side B] [--oracle auto|dense|alt|ch] [--landmarks K]
+//!                  [--dense-limit N] [--import PATH]
 //!                  [--cost-cache] [--threads T] [--shards S]
 //!                  [--stream] [--snapshot-roundtrip] [--kpis json|PATH]
 //!                  [--seed S] [--json PATH]
 //! watter-cli orders [scenario flags] [--fault-seed S] [--fault-malformed-every K]
 //!                   [--fault-delay-every K] [--fault-delay-slots N] [--out PATH]
+//! watter-cli graph [scenario flags] [--out PATH]
 //! watter-cli train [--profile nyc|cdc|xia] [--out model.json] [--steps N]
 //! ```
 //!
@@ -17,9 +19,19 @@
 //! the wire format `watter-daemon` consumes — optionally with
 //! deterministic input faults baked in (see `watter_core::FaultPlan`).
 //!
+//! `graph` exports the scenario's road network in the plain-text
+//! interchange format (`nodes N` / `v id x y` / `e from to travel`);
+//! `--import PATH` runs any subcommand's scenario on such a file instead
+//! of the synthetic city — the round trip is exact, so
+//! `graph --out c.graph` followed by `run --import c.graph` reproduces
+//! the synthetic run bit for bit.
+//!
 //! `--oracle` picks the travel-cost backend: the dense all-pairs table
 //! (`n² × 4` bytes, O(1) queries), landmark-guided A* (`alt`, exact point
-//! queries for 10⁵-node cities), or by node count (`auto`, the default).
+//! queries from `O(k·n)` memory), the contraction hierarchy (`ch`, exact
+//! microsecond point queries after preprocessing — the right choice for
+//! 10⁵-node cities), or by node count (`auto`, the default; the
+//! dense-vs-CH threshold is `--dense-limit`, default 8192).
 //!
 //! `--cost-cache` wraps the oracle in the sharded memoization layer for
 //! the simulation run — dispatch outcomes are bit-identical, only faster;
@@ -48,11 +60,30 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use watter::cli::{fault_plan_of, params_of, parse_flags, print_stats};
 use watter::prelude::*;
+use watter::road::{export_graph, import_graph};
 use watter::runner::{run_full, Algo, DriveMode};
+
+/// Build the scenario: on the profile's synthetic city by default, or —
+/// with `--import PATH` — on a road network loaded from the plain-text
+/// interchange format (`watter::road::import`). Demand and fleet
+/// generation are identical code either way, so any scenario flag set
+/// runs unchanged on an imported city.
+fn build_scenario(flags: &HashMap<String, String>, params: ScenarioParams) -> Scenario {
+    match flags.get("import") {
+        Some(path) => {
+            let graph = import_graph(path).unwrap_or_else(|e| {
+                eprintln!("import {path}: {e}");
+                std::process::exit(1);
+            });
+            Scenario::build_on_graph(params, Arc::new(graph))
+        }
+        None => Scenario::build(params),
+    }
+}
 
 fn cmd_run(flags: HashMap<String, String>) {
     let params = params_of(&flags);
-    let scenario = Scenario::build(params.clone());
+    let scenario = build_scenario(&flags, params.clone());
     let algo_name = flags
         .get("algo")
         .map(|s| s.as_str())
@@ -113,7 +144,7 @@ fn cmd_run(flags: HashMap<String, String>) {
         eprintln!("wrote {path}");
     }
     if let Some(dest) = flags.get("kpis") {
-        let report = out.kpis.report(&out.measurements);
+        let report = out.kpi_report();
         let s = serde_json::to_string_pretty(&report).expect("serialize kpis");
         if dest == "json" || dest == "true" {
             println!("{s}");
@@ -132,7 +163,7 @@ fn cmd_run(flags: HashMap<String, String>) {
 /// `--fault-delay-slots`) bake deterministic input faults into the lines.
 fn cmd_orders(flags: HashMap<String, String>) {
     let params = params_of(&flags);
-    let scenario = Scenario::build(params);
+    let scenario = build_scenario(&flags, params);
     let plan = fault_plan_of(&flags);
     let lines = watter::sim::fault_lines(&scenario.orders, &plan).join("\n");
     match flags.get("out") {
@@ -141,6 +172,27 @@ fn cmd_orders(flags: HashMap<String, String>) {
             eprintln!("wrote {path}");
         }
         None => println!("{lines}"),
+    }
+}
+
+/// Export the scenario's road network in the plain-text interchange
+/// format (`watter-cli graph --out city.graph`). Round-trips exactly:
+/// running any scenario with `--import` on the exported file reproduces
+/// the synthetic-city run bit for bit.
+fn cmd_graph(flags: HashMap<String, String>) {
+    let params = params_of(&flags);
+    let scenario = build_scenario(&flags, params);
+    let text = export_graph(&scenario.graph);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write graph");
+            eprintln!(
+                "wrote {path} ({} nodes, {} edges)",
+                scenario.graph.node_count(),
+                scenario.graph.edge_count()
+            );
+        }
+        None => print!("{text}"),
     }
 }
 
@@ -176,9 +228,12 @@ fn main() {
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(parse_flags(&args[1..])),
         Some("orders") => cmd_orders(parse_flags(&args[1..])),
+        Some("graph") => cmd_graph(parse_flags(&args[1..])),
         Some("train") => cmd_train(parse_flags(&args[1..])),
         _ => {
-            eprintln!("usage: watter-cli <run|orders|train> [--flags]  (see --help in source)");
+            eprintln!(
+                "usage: watter-cli <run|orders|graph|train> [--flags]  (see --help in source)"
+            );
             std::process::exit(2);
         }
     }

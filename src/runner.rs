@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 use watter_baselines::{GasConfig, GasDispatcher, GdpConfig, GdpDispatcher, NonSharingDispatcher};
-use watter_core::{CostWeights, Kpis, Measurements, RunStats, TravelBound};
+use watter_core::{CostWeights, Kpis, Measurements, OracleCacheKpis, RunStats, TravelBound};
 use watter_learn::ValueFunction;
 use watter_pool::{cliques::CliqueLimits, PlanLimits, PoolConfig, SpatialPrune};
 use watter_road::{CachedOracle, CityOracle};
@@ -89,6 +89,17 @@ pub struct RunOutput {
     pub kpis: Kpis,
     /// Ingest counters ([`DriveMode::Stream`] only).
     pub ingest: Option<IngestStats>,
+    /// Cost-cache counters (`--cost-cache` runs only).
+    pub cache: Option<OracleCacheKpis>,
+}
+
+impl RunOutput {
+    /// The report-ready KPI summary, with the cache counters attached.
+    pub fn kpi_report(&self) -> watter_core::KpiReport {
+        let mut report = self.kpis.report(&self.measurements);
+        report.cache = self.cache;
+        report
+    }
 }
 
 /// Pool configuration derived from scenario parameters.
@@ -156,11 +167,15 @@ impl SimOracle {
         }
     }
 
-    /// Cache `(hits, misses)` counters, when the cache is active.
-    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+    /// Cache hit/miss/evict counters, when the cache is active.
+    pub fn cache_stats(&self) -> Option<OracleCacheKpis> {
         match self {
             SimOracle::Plain(_) => None,
-            SimOracle::Cached(c) => Some((c.hits(), c.misses())),
+            SimOracle::Cached(c) => Some(OracleCacheKpis {
+                hits: c.hits(),
+                misses: c.misses(),
+                evictions: c.evictions(),
+            }),
         }
     }
 }
@@ -192,6 +207,7 @@ fn drive_plain<D: Dispatcher>(
                 measurements,
                 kpis,
                 ingest: None,
+                cache: None,
             })
         }
         DriveMode::Stream => {
@@ -201,6 +217,7 @@ fn drive_plain<D: Dispatcher>(
                 measurements: out.measurements,
                 kpis: out.kpis,
                 ingest: Some(out.ingest),
+                cache: None,
             })
         }
         DriveMode::SnapshotRoundtrip => Err(format!(
@@ -278,6 +295,7 @@ fn drive_snap<D: SnapshotDispatcher>(
         measurements,
         kpis,
         ingest: None,
+        cache: None,
     })
 }
 
@@ -305,7 +323,7 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
             mode,
         )
     }
-    match algo {
+    let out = match algo {
         Algo::Gdp => {
             let mut d = GdpDispatcher::new(GdpConfig::default(), &scenario.workers);
             drive_plain(scenario, cfg, oracle, &mut d, mode)
@@ -364,7 +382,13 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
             },
             mode,
         ),
-    }
+    };
+    // Attach the cache counters observed during the run (None when the
+    // cost cache was off).
+    out.map(|mut out| {
+        out.cache = sim_oracle.cache_stats();
+        out
+    })
 }
 
 /// Execute one algorithm on one scenario, returning full measurements

@@ -1,18 +1,21 @@
 //! Oracle equivalence and overflow-safety properties.
 //!
 //! The whole framework assumes every `TravelCost` backend answers the same
-//! number for the same pair: the dense table, the ALT A* oracle and plain
-//! Dijkstra must be bit-identical on every city the tier-1 suite uses, and
-//! none of them may ever report a finite distance beyond `UNREACHABLE`,
-//! whatever the edge weights.
+//! number for the same pair: the dense table, the ALT A* oracle, the
+//! contraction hierarchy and plain Dijkstra must be bit-identical on every
+//! city the tier-1 suite uses — synthetic or round-tripped through the
+//! plain-text import format — and none of them may ever report a finite
+//! distance beyond `UNREACHABLE`, whatever the edge weights. CH
+//! preprocessing must additionally be bit-identical for every thread
+//! count.
 
 use proptest::prelude::*;
 use std::sync::Arc;
 use watter::prelude::*;
-use watter_core::NodeId;
+use watter_core::{Exec, NodeId, TravelBound};
 use watter_road::dijkstra::{shortest_path_cost, UNREACHABLE};
 use watter_road::graph::Edge;
-use watter_road::AltOracle;
+use watter_road::{export_graph, parse_graph, AltOracle, ChOracle};
 
 fn profile(idx: usize) -> CityProfile {
     CityProfile::ALL[idx % CityProfile::ALL.len()]
@@ -47,6 +50,79 @@ proptest! {
         }
     }
 
+    /// `ChOracle` returns costs bit-identical to `CostMatrix` and to
+    /// point-to-point Dijkstra on tier-1 city topologies of every profile,
+    /// whether the graph is native or round-tripped through the plain-text
+    /// import format — and preprocessing is bit-identical for every thread
+    /// count.
+    #[test]
+    fn ch_oracle_matches_dense_and_dijkstra(
+        pidx in 0usize..3,
+        side in 5usize..11,
+        seed in 0u64..500,
+        threads in 1usize..5,
+    ) {
+        let graph = Arc::new(profile(pidx).city_config(side).generate(seed));
+        let dense = CostMatrix::build(&graph);
+        let ch = ChOracle::build(Arc::clone(&graph));
+        // Same hierarchy from parallel preprocessing…
+        let par = ChOracle::build_with_exec(Arc::clone(&graph), &Exec::new(threads));
+        prop_assert!(ch.same_hierarchy(&par), "hierarchy differs at {} threads", threads);
+        // …and from an imported copy of the graph (exact round trip).
+        let imported = Arc::new(parse_graph(&export_graph(&graph)).expect("round trip"));
+        prop_assert_eq!(imported.as_ref(), graph.as_ref());
+        let ch_imported = ChOracle::build(Arc::clone(&imported));
+        prop_assert!(ch.same_hierarchy(&ch_imported), "imported hierarchy differs");
+
+        let n = graph.node_count() as u32;
+        // Deterministic pair sample covering corners and interior.
+        let probes: Vec<(u32, u32)> = (0..60)
+            .map(|i| ((i * 37 + seed as u32) % n, (i * 101 + 13) % n))
+            .chain([(0, n - 1), (n - 1, 0), (n / 2, n / 2)])
+            .collect();
+        for (a, b) in probes {
+            let (a, b) = (NodeId(a), NodeId(b));
+            let want = dense.cost(a, b);
+            prop_assert_eq!(ch.cost(a, b), want, "ch {} -> {}", a, b);
+            prop_assert_eq!(ch_imported.cost(a, b), want, "ch-imported {} -> {}", a, b);
+            prop_assert_eq!(shortest_path_cost(&graph, a, b), want, "dijkstra {} -> {}", a, b);
+            // CH bounds are exact, like the dense table's.
+            prop_assert_eq!(ch.lower_bound(a, b), want, "ch bound {} -> {}", a, b);
+        }
+    }
+
+    /// CH == Dijkstra on graphs with disconnected components: unreachable
+    /// pairs answer exactly `UNREACHABLE`, reachable ones the true cost.
+    #[test]
+    fn ch_oracle_handles_disconnected_components(
+        sizes in prop::collection::vec(2usize..6, 1..4),
+        weights_seed in 0u64..1000,
+    ) {
+        // Several disjoint path components, deterministic weights.
+        let n: usize = sizes.iter().sum();
+        let coords: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 0.0)).collect();
+        let mut edges = Vec::new();
+        let mut base = 0u32;
+        for &len in &sizes {
+            for i in 0..len as u32 - 1 {
+                edges.push(Edge {
+                    from: NodeId(base + i),
+                    to: NodeId(base + i + 1),
+                    travel: 1 + ((weights_seed.wrapping_mul(31).wrapping_add((base + i) as u64)) % 97) as i64,
+                });
+            }
+            base += len as u32;
+        }
+        let graph = Arc::new(RoadGraph::from_undirected_edges(coords, edges));
+        let ch = ChOracle::build(Arc::clone(&graph));
+        for a in graph.nodes() {
+            for b in graph.nodes() {
+                let want = shortest_path_cost(&graph, a, b);
+                prop_assert_eq!(ch.cost(a, b), want, "ch {} -> {}", a, b);
+            }
+        }
+    }
+
     /// No oracle ever returns a finite value exceeding `UNREACHABLE` (or a
     /// negative one), even for adversarial edge weights whose path sums
     /// would wrap `i64`.
@@ -75,6 +151,7 @@ proptest! {
         }
         let graph = Arc::new(RoadGraph::from_undirected_edges(coords, edges));
         let alt = AltOracle::build(Arc::clone(&graph), 2);
+        let ch = ChOracle::build(Arc::clone(&graph));
         for a in graph.nodes() {
             for b in graph.nodes() {
                 let d = shortest_path_cost(&graph, a, b);
@@ -82,6 +159,9 @@ proptest! {
                 let ad = alt.cost(a, b);
                 prop_assert!((0..=UNREACHABLE).contains(&ad), "alt {} -> {} = {}", a, b, ad);
                 prop_assert_eq!(ad, d, "oracles disagree on {} -> {}", a, b);
+                let cd = ch.cost(a, b);
+                prop_assert!((0..=UNREACHABLE).contains(&cd), "ch {} -> {} = {}", a, b, cd);
+                prop_assert_eq!(cd, d, "ch disagrees on {} -> {}", a, b);
             }
         }
     }
