@@ -5,13 +5,18 @@
 //! ```
 //!
 //! `exp` ∈ {example1, fig3, fig4, fig5, fig6, eta, dt, grid, omega,
-//! ablations, kpis, oracle, pool, chaos, all};
+//! ablations, kpis, oracle, pool, chaos, obs, all};
 //! `scale` shrinks order/worker counts (default 1.0). Results are printed
 //! as tables and written to `results/<exp>.json`.
 //!
 //! `pool` takes a city side length instead of a scale
 //! (`reproduce -- pool 320` is the 10⁵-node scaling study) and writes
 //! `results/pool_scale.json`.
+//!
+//! `obs` also takes a side length: it times the large-city run with no
+//! recorder, a disabled recorder and a fully enabled recorder, writes
+//! `results/obs.json` with the per-stage latency breakdown, and exits
+//! non-zero if the enabled-path overhead exceeds 5%.
 
 use std::path::PathBuf;
 use watter_bench::{experiments, print_table, write_json};
@@ -113,6 +118,44 @@ fn pool(side: usize) {
     }
     write_json(&results_path("pool_scale"), &rows).expect("write results");
     eprintln!("[pool] -> results/pool_scale.json");
+}
+
+fn obs(side: usize) {
+    println!("\n## Observability overhead study ({side}×{side} blocks)");
+    println!(
+        "{:<10} {:>8} {:>7} {:>9} {:>9} {:>13} {:>12}",
+        "config", "orders", "served", "rejected", "wall(s)", "per-order(ms)", "overhead(%)"
+    );
+    let rows = watter_bench::experiments::obs_study(side, 3);
+    for r in &rows {
+        println!(
+            "{:<10} {:>8} {:>7} {:>9} {:>9.2} {:>13.2} {:>+12.2}",
+            r.config, r.orders, r.served, r.rejected, r.wall_s, r.per_order_ms, r.overhead_pct
+        );
+    }
+    if let Some(enabled) = rows.iter().find(|r| r.config == "enabled") {
+        println!("\nPer-stage latency (enabled run):");
+        println!(
+            "{:<22} {:>9} {:>11} {:>9} {:>9} {:>9} {:>9}",
+            "stage", "count", "sum(µs)", "p50(µs)", "p90(µs)", "p99(µs)", "max(µs)"
+        );
+        for s in &enabled.stages {
+            println!(
+                "{:<22} {:>9} {:>11} {:>9} {:>9} {:>9} {:>9}",
+                s.stage, s.count, s.sum_us, s.p50_us, s.p90_us, s.p99_us, s.max_us
+            );
+        }
+    }
+    write_json(&results_path("obs"), &rows).expect("write results");
+    let enabled_overhead = rows
+        .iter()
+        .find(|r| r.config == "enabled")
+        .map_or(0.0, |r| r.overhead_pct);
+    eprintln!("[obs] enabled-path overhead {enabled_overhead:+.2}% -> results/obs.json");
+    if enabled_overhead > 5.0 {
+        eprintln!("[obs] FAIL: enabled-path overhead exceeds the 5% budget");
+        std::process::exit(1);
+    }
 }
 
 fn kpis(scale: f64) {
@@ -219,6 +262,7 @@ fn main() {
         "kpis" => kpis(scale),
         "oracle" => oracle(),
         "pool" => pool(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(320)),
+        "obs" => obs(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(320)),
         "chaos" => chaos(scale),
         "ablations" => run_figure(
             "ablations",
@@ -257,9 +301,10 @@ fn main() {
             kpis(scale);
             oracle();
             chaos(scale);
+            obs(320);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|kpis|oracle|pool|chaos|all");
+            eprintln!("unknown experiment `{other}`; use example1|fig3|fig4|fig5|fig6|eta|dt|grid|omega|ablations|kpis|oracle|pool|chaos|obs|all");
             std::process::exit(2);
         }
     }

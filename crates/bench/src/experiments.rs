@@ -568,6 +568,132 @@ pub fn pool_scale_study(city_side: usize) -> Vec<PoolScaleRow> {
     rows
 }
 
+/// One row of the observability overhead study: the large-city run
+/// under one recorder configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsRow {
+    /// City side length in blocks.
+    pub city_side: usize,
+    /// Node count (`side²`).
+    pub nodes: usize,
+    /// Recorder configuration: `baseline` (the plain [`run_full`]
+    /// entry, recorder structurally absent), `disabled` (a disabled
+    /// recorder threaded through every hook — the zero-cost claim) or
+    /// `enabled` (full registry: counters, spans, windows, trace).
+    pub config: String,
+    /// Timed repetitions (wall numbers are best-of).
+    pub reps: usize,
+    /// Orders simulated.
+    pub orders: usize,
+    /// Orders served — must be identical across configurations.
+    pub served: u64,
+    /// Orders rejected.
+    pub rejected: u64,
+    /// Extra Time (the METRS objective Φ), seconds.
+    pub extra_time_s: f64,
+    /// Best end-to-end wall time of the simulation, seconds.
+    pub wall_s: f64,
+    /// Best wall time per order, milliseconds.
+    pub per_order_ms: f64,
+    /// Wall-time overhead vs the baseline row, percent (the study's
+    /// headline: `disabled` must sit in the noise floor, `enabled`
+    /// within the 5% budget).
+    pub overhead_pct: f64,
+    /// Per-stage latency breakdown (`enabled` row only).
+    pub stages: Vec<watter_obs::StageSample>,
+}
+
+/// Observability overhead study (`reproduce -- obs [side]`): the
+/// large-city scenario timed under no recorder, a disabled recorder
+/// and a fully enabled recorder. Dispatch outcomes must be identical
+/// across all three (asserted — the metrics are observers, not
+/// participants); only wall clock may move, and the `reproduce` binary
+/// gates the enabled overhead at 5%.
+pub fn obs_study(city_side: usize, reps: usize) -> Vec<ObsRow> {
+    use std::time::Instant;
+    use watter::runner::{run_full, run_full_recorded, DriveMode};
+    use watter_obs::Recorder;
+
+    let mut params = ScenarioParams::large_city();
+    params.city_side = city_side;
+    // The cache both accelerates the ALT oracle and exercises the
+    // hit/miss observability stages.
+    params.cost_cache = true;
+    // More riders than the pool study so each timed run lasts long
+    // enough to resolve sub-percent overhead differences.
+    params.n_orders = (params.n_orders * 10).max(400);
+    params.n_workers = (params.n_workers * 10).max(100);
+    let scenario = Scenario::build(params);
+    let nodes = scenario.graph.node_count();
+
+    // Untimed warm-up so the first timed configuration doesn't pay the
+    // process's one-off costs (allocator growth, page faults, lazily
+    // built oracle state) that later configurations would get for free.
+    run_full(&scenario, Algo::WatterOnline, DriveMode::Batch).expect("batch mode always runs");
+
+    // Reps are interleaved (baseline, disabled, enabled, baseline, …)
+    // rather than blocked per configuration: on a busy host wall times
+    // drift over minutes, and blocked reps would alias that drift into
+    // the overhead comparison.
+    let configs = ["baseline", "disabled", "enabled"];
+    let reps = reps.max(1);
+    let mut walls = [f64::INFINITY; 3];
+    let mut outcomes: Vec<Option<(Measurements, watter_obs::ObsSnapshot)>> =
+        vec![None; configs.len()];
+    for _ in 0..reps {
+        for (i, config) in configs.iter().enumerate() {
+            let recorder = match *config {
+                "enabled" => Recorder::enabled(),
+                _ => Recorder::disabled(),
+            };
+            let t0 = Instant::now();
+            let out = match *config {
+                "baseline" => run_full(&scenario, Algo::WatterOnline, DriveMode::Batch),
+                _ => run_full_recorded(
+                    &scenario,
+                    Algo::WatterOnline,
+                    DriveMode::Batch,
+                    recorder.clone(),
+                ),
+            }
+            .expect("batch mode always runs");
+            walls[i] = walls[i].min(t0.elapsed().as_secs_f64());
+            outcomes[i] = Some((out.measurements, recorder.snapshot()));
+        }
+    }
+
+    let mut rows: Vec<ObsRow> = Vec::new();
+    for (i, config) in configs.iter().enumerate() {
+        let (m, snap) = outcomes[i].take().expect("reps >= 1");
+        let stats = RunStats::from(&m);
+        let wall_s = walls[i];
+        let baseline_wall = rows.first().map_or(wall_s, |r| r.wall_s);
+        let row = ObsRow {
+            city_side,
+            nodes,
+            config: config.to_string(),
+            reps,
+            orders: scenario.orders.len(),
+            served: m.served_orders,
+            rejected: m.rejected_orders,
+            extra_time_s: stats.extra_time,
+            wall_s,
+            per_order_ms: wall_s * 1e3 / scenario.orders.len().max(1) as f64,
+            overhead_pct: (wall_s - baseline_wall) / baseline_wall * 100.0,
+            stages: snap.stages,
+        };
+        if let Some(base) = rows.first() {
+            assert_eq!(
+                (row.served, row.rejected, row.extra_time_s),
+                (base.served, base.rejected, base.extra_time_s),
+                "recorder config `{config}` changed dispatch outcomes"
+            );
+        }
+        rows.push(row);
+    }
+    rows
+}
+
 /// One row of the KPI study: the operational report of a
 /// (city, algorithm) run — the service-operations view
 /// (`reproduce -- kpis`), complementing the paper's four headline

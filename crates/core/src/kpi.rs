@@ -15,10 +15,17 @@
 //! function of the event stream. `tick_nanos` is wall-clock measurement
 //! noise — [`Kpis::without_timing`] strips it for bit-identity
 //! comparisons, mirroring how `Measurements::decision_nanos` is treated.
+//!
+//! Both sample populations are held in bounded [`Sketch`]es (from
+//! `watter-obs`): small runs — every test and reproduction study —
+//! keep exact samples and report exact nearest-rank percentiles,
+//! while a multi-day daemon run degrades to log₂-bucket estimates at
+//! constant memory instead of growing a `Vec` per tick.
 
 use crate::metrics::Measurements;
 use crate::time::Ts;
 use serde::{Deserialize, Serialize};
+use watter_obs::Sketch;
 
 /// Raw KPI accumulator, updated by the dispatch core per applied event.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -27,12 +34,12 @@ pub struct Kpis {
     pub fleet_size: u64,
     /// Periodic checks executed.
     pub checks: u64,
-    /// Realized extra time (α·detour + β·response) per served order, in
-    /// service order.
-    pub extra_times: Vec<f64>,
+    /// Realized extra time (α·detour + β·response) per served order,
+    /// seconds, as a bounded streaming sketch.
+    pub extra_times: Sketch,
     /// Wall-clock nanoseconds of dispatcher work per check tick (the only
     /// non-deterministic field; see [`Kpis::without_timing`]).
-    pub tick_nanos: Vec<u64>,
+    pub tick_nanos: Sketch,
     /// High-water mark of orders pending inside the dispatcher.
     pub peak_pending: u64,
     /// High-water mark of arrivals buffered ahead of delivery.
@@ -62,13 +69,13 @@ impl Kpis {
 
     /// Record a served order's realized extra time.
     pub fn record_extra(&mut self, extra: f64) {
-        self.extra_times.push(extra);
+        self.extra_times.record(extra);
     }
 
     /// Record the dispatcher wall time of one check tick.
     pub fn record_tick(&mut self, nanos: u64) {
         self.checks += 1;
-        self.tick_nanos.push(nanos);
+        self.tick_nanos.record(nanos as f64);
     }
 
     /// Update the backlog high-water marks.
@@ -82,7 +89,7 @@ impl Kpis {
     /// contract), while `tick_nanos` legitimately differs run to run.
     pub fn without_timing(&self) -> Self {
         Self {
-            tick_nanos: Vec::new(),
+            tick_nanos: Sketch::default(),
             ..self.clone()
         }
     }
@@ -100,14 +107,13 @@ impl Kpis {
     pub fn report(&self, measurements: &Measurements) -> KpiReport {
         let fleet_seconds = self.fleet_size as f64 * self.span_seconds();
         let busy = measurements.worker_travel;
-        let tick_us: Vec<f64> = self.tick_nanos.iter().map(|&n| n as f64 / 1e3).collect();
         KpiReport {
             total_orders: measurements.total_orders,
             served_orders: measurements.served_orders,
             rejected_orders: measurements.rejected_orders,
             service_rate_pct: 100.0 * measurements.service_rate(),
-            extra_time_s: Dist::from_samples(&self.extra_times),
-            tick_latency_us: Dist::from_samples(&tick_us),
+            extra_time_s: Dist::from_sketch(&self.extra_times, 1.0),
+            tick_latency_us: Dist::from_sketch(&self.tick_nanos, 1e-3),
             checks: self.checks,
             peak_pending: self.peak_pending,
             peak_buffered: self.peak_buffered,
@@ -187,6 +193,24 @@ impl Dist {
             p90: percentile(&sorted, 90.0),
             p99: percentile(&sorted, 99.0),
             max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Summarize a streaming sketch, scaling every statistic by
+    /// `scale` (e.g. `1e-3` for nanoseconds → microseconds).
+    /// Percentiles are exact nearest-rank values while the sketch is
+    /// within its exact window, identical to [`Dist::from_samples`].
+    pub fn from_sketch(sketch: &Sketch, scale: f64) -> Self {
+        if sketch.is_empty() {
+            return Self::default();
+        }
+        Self {
+            count: sketch.count(),
+            mean: sketch.mean() * scale,
+            p50: sketch.quantile(50.0) * scale,
+            p90: sketch.quantile(90.0) * scale,
+            p99: sketch.quantile(99.0) * scale,
+            max: sketch.max() * scale,
         }
     }
 }
@@ -290,9 +314,92 @@ mod tests {
         let stripped = k.without_timing();
         assert!(stripped.tick_nanos.is_empty());
         assert_eq!(stripped.checks, 1);
-        assert_eq!(stripped.extra_times, vec![3.5]);
+        assert_eq!(stripped.extra_times.count(), 1);
+        assert_eq!(stripped.extra_times.quantile(50.0), 3.5);
         assert_eq!(stripped.peak_pending, 4);
         assert_eq!(stripped.peak_buffered, 9);
+    }
+
+    #[test]
+    fn report_from_sketch_matches_exact_samples() {
+        let mut k = Kpis::new(1);
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        for &s in &samples {
+            k.record_extra(s);
+            k.record_tick((s * 1e3) as u64); // 1–100 µs in nanos
+        }
+        let r = k.report(&Measurements::default());
+        assert_eq!(r.extra_time_s, Dist::from_samples(&samples));
+        // Tick latencies scale ns → µs exactly while the sketch holds
+        // its exact window.
+        assert_eq!(r.tick_latency_us.p50, 50.0);
+        assert_eq!(r.tick_latency_us.p99, 99.0);
+        assert_eq!(r.tick_latency_us.max, 100.0);
+        assert_eq!(r.checks, 100);
+    }
+
+    #[test]
+    fn single_sample_run_reports_that_sample_everywhere() {
+        let mut k = Kpis::new(1);
+        k.record_extra(42.5);
+        k.record_tick(7_000);
+        let r = k.report(&Measurements::default());
+        for v in [
+            r.extra_time_s.p50,
+            r.extra_time_s.p90,
+            r.extra_time_s.p99,
+            r.extra_time_s.max,
+            r.extra_time_s.mean,
+        ] {
+            assert_eq!(v, 42.5);
+        }
+        assert_eq!(r.tick_latency_us.p99, 7.0);
+        assert_eq!(r.extra_time_s.count, 1);
+    }
+
+    #[test]
+    fn all_equal_samples_have_flat_distribution() {
+        let mut k = Kpis::new(3);
+        for _ in 0..50 {
+            k.record_extra(9.0);
+        }
+        let r = k.report(&Measurements::default());
+        assert_eq!(r.extra_time_s.p50, 9.0);
+        assert_eq!(r.extra_time_s.p99, 9.0);
+        assert_eq!(r.extra_time_s.max, 9.0);
+        assert_eq!(r.extra_time_s.mean, 9.0);
+        assert_eq!(r.extra_time_s.count, 50);
+    }
+
+    #[test]
+    fn zero_worker_fleet_reports_without_dividing_by_zero() {
+        let mut k = Kpis::new(0);
+        k.note_event(100);
+        k.note_event(400);
+        let mut m = Measurements::default();
+        m.record_worker_travel(10);
+        let r = k.report(&m);
+        assert_eq!(r.fleet_size, 0);
+        assert_eq!(r.span_s, 300.0);
+        // No fleet-seconds to divide by: utilization reports 0, not NaN.
+        assert_eq!(r.fleet_utilization_pct, 0.0);
+        assert!(r.fleet_utilization_pct.is_finite());
+    }
+
+    #[test]
+    fn long_runs_hold_constant_memory() {
+        let mut k = Kpis::new(1);
+        for i in 0..(watter_obs::EXACT_CAP as u64 * 4) {
+            k.record_tick(1_000 + i % 100);
+            k.record_extra((i % 60) as f64);
+        }
+        assert!(!k.tick_nanos.is_exact());
+        assert!(!k.extra_times.is_exact());
+        let r = k.report(&Measurements::default());
+        assert_eq!(r.tick_latency_us.count, watter_obs::EXACT_CAP as u64 * 4);
+        // Estimates stay within the observed range.
+        assert!(r.tick_latency_us.p99 <= r.tick_latency_us.max);
+        assert!(r.extra_time_s.p50 <= 59.0);
     }
 
     #[test]

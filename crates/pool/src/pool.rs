@@ -26,7 +26,9 @@ use crate::snapshot::{BestSnapshot, EdgeSnapshot, PoolSnapshot, RestoreError};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::time::Instant;
 use watter_core::{CostWeights, Exec, Group, Order, OrderId, TravelBound, Ts};
+use watter_obs::{Recorder, Stage};
 
 /// Pool configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -81,6 +83,10 @@ pub struct OrderPool {
     stats: PoolStats,
     exec: Exec,
     shards: Option<ShardState>,
+    /// Observability handle (disabled by default). Spans only — the
+    /// pool's hot-path stages never read it for control flow, so
+    /// outcomes are identical with recording on or off.
+    recorder: Recorder,
 }
 
 impl OrderPool {
@@ -145,6 +151,12 @@ impl OrderPool {
         self.stats
     }
 
+    /// Attach an observability recorder; the pool times its hot-path
+    /// stages (pair prefilter, clique search, group planning) through it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
     /// The configured pool parameters.
     pub fn config(&self) -> &PoolConfig {
         &self.cfg
@@ -184,8 +196,11 @@ impl OrderPool {
         self.stats.inserted += 1;
         let id = order.id;
         let center = Arc::new(order);
-        let candidates = self.graph.candidate_partners(&center, now);
-        let edges = self.eval_edges(&center, &candidates, now, oracle);
+        let edges = {
+            let _span = self.recorder.time(Stage::PairFilter);
+            let candidates = self.graph.candidate_partners(&center, now);
+            self.eval_edges(&center, &candidates, now, oracle)
+        };
         self.graph.commit(Arc::clone(&center), edges);
         if let Some(st) = &mut self.shards {
             let home = st.map.shard_of(center.pickup);
@@ -193,18 +208,28 @@ impl OrderPool {
         }
         // Enumerate the arriving order's groups once; offer each to every
         // member (the arriving order may improve neighbours' bests too).
-        let groups = all_groups_for_par(
-            &center,
-            &self.graph,
-            now,
-            self.cfg.limits,
-            self.cfg.clique,
-            oracle,
-            &self.exec,
-        );
+        let groups = {
+            let _span = self.recorder.time(Stage::CliqueSearch);
+            all_groups_for_par(
+                &center,
+                &self.graph,
+                now,
+                self.cfg.limits,
+                self.cfg.clique,
+                oracle,
+                &self.exec,
+            )
+        };
         self.stats.groups_enumerated += groups.len() as u64;
+        // Manual span: a drop-guard timer would borrow `self.recorder`
+        // across the `&mut self` calls below.
+        let t0 = self.recorder.is_enabled().then(Instant::now);
         for g in groups {
             self.offer_group(g, now, oracle);
+        }
+        if let Some(t0) = t0 {
+            self.recorder
+                .record_stage_nanos(Stage::Planner, t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -367,6 +392,7 @@ impl OrderPool {
         }
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
         self.stats.recomputes += ids.len() as u64;
+        let t0 = self.recorder.is_enabled().then(Instant::now);
         let graph = &self.graph;
         let cfg = &self.cfg;
         let results: Vec<Option<Group>> = if ids.len() >= self.exec.threads() {
@@ -406,6 +432,10 @@ impl OrderPool {
             if let Some(g) = found {
                 self.link_best(id, g);
             }
+        }
+        if let Some(t0) = t0 {
+            self.recorder
+                .record_stage_nanos(Stage::CliqueSearch, t0.elapsed().as_nanos() as u64);
         }
     }
 

@@ -35,7 +35,9 @@
 //! between concurrent schedules (they are diagnostics, not outcomes).
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
 use watter_core::{Dur, NodeId, TravelBound, TravelCost};
+use watter_obs::{Recorder, Stage, TraceEvent};
 
 /// `(a, b)` packed into the slot key; `u64::MAX` doubles as the empty-slot
 /// sentinel (it would require both node ids to be `u32::MAX`, which no graph
@@ -123,6 +125,14 @@ pub struct CachedOracle<C> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Observability handle (disabled by default): sampled hit/miss
+    /// latency stages plus eviction trace events. Exact hit/miss
+    /// *totals* stay in the atomics above — per-query counter traffic
+    /// through the registry would double the cost of a cache hit.
+    recorder: Recorder,
+    /// Query counter driving the 1-in-[`crate::observed::SAMPLE_EVERY`]
+    /// latency sampling; only touched when the recorder is enabled.
+    tick: AtomicU64,
 }
 
 impl<C: TravelCost> CachedOracle<C> {
@@ -141,7 +151,16 @@ impl<C: TravelCost> CachedOracle<C> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            recorder: Recorder::disabled(),
+            tick: AtomicU64::new(0),
         }
+    }
+
+    /// Attach an observability recorder: hit/miss latencies are sampled
+    /// into the `oracle_cache_hit` / `oracle_cache_miss` stages and
+    /// evictions emit trace events. Answers are unaffected.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Wrap `inner` with [`Self::DEFAULT_CAPACITY`] entries.
@@ -196,15 +215,44 @@ impl<C: TravelCost> TravelCost for CachedOracle<C> {
         if key == EMPTY {
             return self.inner.cost(a, b);
         }
-        let slot = &self.slots[(Self::mix(key) & self.slot_mask) as usize];
+        let slot_idx = (Self::mix(key) & self.slot_mask) as usize;
+        let slot = &self.slots[slot_idx];
+        // Latency sampling: one query in SAMPLE_EVERY reads the clock
+        // (timing every hit would cost more than the hit itself).
+        let t0 = if self.recorder.is_enabled()
+            && self
+                .tick
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(crate::observed::SAMPLE_EVERY)
+        {
+            Some(Instant::now())
+        } else {
+            None
+        };
         if let Some(cost) = slot.read(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(t0) = t0 {
+                self.recorder
+                    .record_stage_nanos(Stage::OracleCacheHit, t0.elapsed().as_nanos() as u64);
+            }
             return cost;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let cost = self.inner.cost(a, b);
         if slot.publish(key, cost) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            // The cache has no virtual clock; eviction traces are
+            // stamped 0 and ordered by their sequence numbers.
+            self.recorder.trace(
+                0,
+                TraceEvent::CacheEviction {
+                    slot: slot_idx as u64,
+                },
+            );
+        }
+        if let Some(t0) = t0 {
+            self.recorder
+                .record_stage_nanos(Stage::OracleCacheMiss, t0.elapsed().as_nanos() as u64);
         }
         cost
     }

@@ -43,6 +43,7 @@ pub mod grid;
 pub mod import;
 pub mod landmarks;
 pub mod matrix;
+pub mod observed;
 pub mod oracle;
 pub mod workspace;
 
@@ -56,5 +57,6 @@ pub use grid::GridIndex;
 pub use import::{export_graph, import_graph, parse_graph, ImportError};
 pub use landmarks::Landmarks;
 pub use matrix::CostMatrix;
+pub use observed::{stage_for_backend, ObservedOracle};
 pub use oracle::CityOracle;
 pub use workspace::DijkstraWorkspace;

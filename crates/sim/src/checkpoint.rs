@@ -388,6 +388,7 @@ mod tests {
                     },
                     measurements: Measurements::default(),
                     kpis: Kpis::new(0),
+                    trace_seq: 0,
                 },
                 dispatcher: DispatcherState::Stateless,
             },

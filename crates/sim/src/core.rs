@@ -53,6 +53,7 @@ use crate::fleet::Fleet;
 use std::collections::BTreeMap;
 use std::time::Instant;
 use watter_core::{Kpis, Measurements, Order, OrderId, TravelBound, Ts, WorkerId};
+use watter_obs::{Counter, Gauge, Recorder, TraceEvent, WindowField};
 
 /// An input to the dispatch core.
 #[derive(Clone, Debug)]
@@ -159,6 +160,14 @@ pub struct DispatchCore {
     kpis: Kpis,
     /// Scratch effect sink lent to [`SimCtx`] during dispatcher calls.
     effects: Vec<Effect>,
+    /// Observability handle (disabled by default; see
+    /// [`DispatchCore::set_recorder`]). Not part of snapshots — only
+    /// the trace sequence number is carried.
+    recorder: Recorder,
+    /// Trace sequence number carried in from a restored snapshot; the
+    /// next attached recorder resumes numbering from here so replays
+    /// never double-count journal entries.
+    restored_trace_seq: u64,
 }
 
 impl DispatchCore {
@@ -183,6 +192,68 @@ impl DispatchCore {
             measurements: Measurements::default(),
             kpis,
             effects: Vec::new(),
+            recorder: Recorder::disabled(),
+            restored_trace_seq: 0,
+        }
+    }
+
+    /// Attach an observability recorder. The core mirrors its effect
+    /// stream into the registry (counters, window KPIs, trace events);
+    /// outcomes are unaffected, so runs with and without a live
+    /// recorder stay bit-identical. If this core was restored from a
+    /// snapshot, the recorder's trace sequence resumes from the
+    /// snapshot's position.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        recorder.bump_trace_seq_to(self.restored_trace_seq);
+        self.recorder = recorder;
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`DispatchCore::set_recorder`] was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mirror one effect into the observability registry.
+    fn observe(&self, e: &Effect) {
+        match *e {
+            Effect::Queued { .. } => self.recorder.incr(Counter::OrdersDispatched),
+            Effect::Refused { .. } => {}
+            Effect::Admitted { id, at } => {
+                self.recorder.window_count(at, WindowField::Admitted);
+                self.recorder
+                    .trace(at, TraceEvent::OrderAdmitted { order: id.0 as u64 });
+            }
+            Effect::Served {
+                id,
+                at,
+                worker,
+                group_size,
+                ..
+            } => {
+                self.recorder.incr(Counter::OrdersServed);
+                self.recorder.window_count(at, WindowField::Served);
+                self.recorder.trace(
+                    at,
+                    TraceEvent::OrderServed {
+                        order: id.0 as u64,
+                        worker: worker.map_or(u64::MAX, |w| w.0 as u64),
+                        group_size: group_size as u64,
+                    },
+                );
+            }
+            Effect::Rejected { id, at } => {
+                self.recorder.incr(Counter::OrdersRejected);
+                self.recorder.window_count(at, WindowField::Rejected);
+                self.recorder
+                    .trace(at, TraceEvent::OrderRejected { order: id.0 as u64 });
+            }
+            Effect::Checked { at, pending } => {
+                self.recorder.incr(Counter::Checks);
+                self.recorder.window_count(at, WindowField::Checks);
+                self.recorder.window_backlog(at, pending as u64, 0);
+            }
+            Effect::Drained { .. } => {}
         }
     }
 
@@ -207,6 +278,15 @@ impl DispatchCore {
         }
         self.kpis
             .note_backlog(dispatcher.pending(), self.buffered.len());
+        if self.recorder.is_enabled() {
+            for e in &effects {
+                self.observe(e);
+            }
+            self.recorder
+                .gauge_set(Gauge::PoolPending, dispatcher.pending() as i64);
+            self.recorder
+                .gauge_set(Gauge::Backlog, self.buffered.len() as i64);
+        }
         effects
     }
 
@@ -404,6 +484,7 @@ impl DispatchCore {
             fleet: self.fleet.snapshot(),
             measurements: self.measurements.clone(),
             kpis: self.kpis.clone(),
+            trace_seq: self.recorder.trace_seq().max(self.restored_trace_seq),
         }
     }
 
@@ -422,6 +503,7 @@ impl DispatchCore {
         core.drained = state.drained;
         core.measurements = state.measurements.clone();
         core.kpis = state.kpis.clone();
+        core.restored_trace_seq = state.trace_seq;
         core
     }
 }

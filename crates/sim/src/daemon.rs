@@ -40,6 +40,7 @@ use serde::{Deserialize, Serialize};
 use watter_core::{
     Dur, FaultPlan, KpiReport, Kpis, Measurements, Order, RobustnessReport, TravelBound, Ts, Worker,
 };
+use watter_obs::{Counter, Gauge, Recorder, Stage, TraceEvent};
 
 /// Safety bound on the synchronous check-draining loop of
 /// [`BackpressurePolicy::Block`]: with a positive check period the clock
@@ -175,6 +176,19 @@ impl From<SnapshotError> for DaemonError {
     }
 }
 
+/// Live telemetry bundle answered to the daemon's `#metrics` control
+/// line: the paper-KPI report plus the observability snapshot. The
+/// snapshot side is a pure function of the event stream except for the
+/// wall-clock stage latencies (see `watter-obs`'s determinism notes).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Derived paper KPIs over the run so far.
+    pub kpis: KpiReport,
+    /// Observability registry snapshot (counters, gauges, stage
+    /// latency percentiles, windowed KPIs, trace position).
+    pub obs: watter_obs::ObsSnapshot,
+}
+
 /// Final accounting of a daemon run.
 #[derive(Clone, Debug)]
 pub struct DaemonOutput {
@@ -206,6 +220,7 @@ pub struct Daemon<'a, D> {
     events_since_ckpt: u64,
     last_ckpt_clock: Option<Ts>,
     checkpoint_failures: u64,
+    recorder: Recorder,
 }
 
 impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
@@ -233,7 +248,24 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
             events_since_ckpt: 0,
             last_ckpt_clock: None,
             checkpoint_failures: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder to the daemon, its core and its
+    /// dispatcher. On a resumed daemon the recorder's trace sequence
+    /// continues from the checkpoint's position. Outcomes are
+    /// unaffected: the daemon mirrors counters it already keeps.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.core.set_recorder(recorder.clone());
+        self.dispatcher.set_recorder(recorder.clone());
+        recorder.gauge_set(Gauge::Degraded, i64::from(self.engaged));
+        self.recorder = recorder;
+    }
+
+    /// The daemon's observability handle (disabled unless attached).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Resume from the newest valid checkpoint generation in `store`.
@@ -272,6 +304,7 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
             events_since_ckpt: 0,
             last_ckpt_clock,
             checkpoint_failures: 0,
+            recorder: Recorder::disabled(),
         }))
     }
 
@@ -282,15 +315,23 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
     pub fn feed_line(&mut self, line: &str) -> FeedOutcome {
         self.lines_consumed += 1;
         self.events_since_ckpt += 1;
-        let outcome = match OrderIngest::parse_line(line) {
+        let parsed = {
+            let _span = self.recorder.time(Stage::Ingest);
+            OrderIngest::parse_line(line)
+        };
+        let outcome = match parsed {
             Err(e) => {
                 self.ingest.note_malformed();
+                self.recorder.incr(Counter::LinesMalformed);
                 FeedOutcome::Rejected(e)
             }
             Ok(order) => self.feed_order(order),
         };
         self.ingest
             .observe_backlog(self.core.backlog() + self.dispatcher.pending());
+        if self.recorder.is_enabled() {
+            self.observe_feed();
+        }
         self.maybe_checkpoint();
         if self.cfg.fault.crashes_at(self.lines_consumed) {
             if let (Some(kind), Some(store)) =
@@ -325,10 +366,26 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
         match self.cfg.policy {
             BackpressurePolicy::Shed => {
                 self.robustness.shed += 1;
+                self.recorder.incr(Counter::OrdersShed);
+                self.recorder
+                    .window_count(self.core.clock(), watter_obs::WindowField::Shed);
+                self.recorder.trace(
+                    self.core.clock(),
+                    TraceEvent::OrderShed {
+                        order: order.id.0 as u64,
+                    },
+                );
                 FeedOutcome::Shed
             }
             BackpressurePolicy::Degrade => {
                 self.robustness.degraded += 1;
+                self.recorder.incr(Counter::OrdersDegraded);
+                self.recorder.trace(
+                    self.core.clock(),
+                    TraceEvent::OrderDegraded {
+                        order: order.id.0 as u64,
+                    },
+                );
                 self.core
                     .step(Event::Arrive(order), &mut self.dispatcher, self.oracle);
                 FeedOutcome::Degraded
@@ -349,6 +406,13 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
                 let blocked = restamped > order.release;
                 if blocked {
                     self.robustness.blocked += 1;
+                    self.recorder.incr(Counter::OrdersBlocked);
+                    self.recorder.trace(
+                        self.core.clock(),
+                        TraceEvent::OrderBlocked {
+                            order: order.id.0 as u64,
+                        },
+                    );
                 }
                 let order = Order {
                     release: restamped,
@@ -376,8 +440,42 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
         } else if self.engaged && backlog <= self.cfg.low_watermark {
             self.engaged = false;
         }
-        if was != self.engaged && self.cfg.policy == BackpressurePolicy::Degrade {
-            self.dispatcher.set_degraded(self.engaged);
+        if was != self.engaged {
+            self.recorder.incr(Counter::DegradeFlips);
+            self.recorder
+                .gauge_set(Gauge::Degraded, i64::from(self.engaged));
+            self.recorder.trace(
+                self.core.clock(),
+                TraceEvent::DegradeFlip {
+                    engaged: self.engaged,
+                },
+            );
+            if self.cfg.policy == BackpressurePolicy::Degrade {
+                self.dispatcher.set_degraded(self.engaged);
+            }
+        }
+    }
+
+    /// Mirror the daemon's own counters into the registry after a fed
+    /// line (only called with an enabled recorder). `set_at_least` keeps
+    /// mirrored absolute totals idempotent across replays.
+    fn observe_feed(&self) {
+        let stats = self.ingest.stats();
+        self.recorder
+            .set_at_least(Counter::OrdersAdmitted, stats.admitted);
+        self.recorder
+            .set_at_least(Counter::LinesMalformed, stats.malformed);
+        let backlog = self.backlog();
+        let band = if backlog >= self.cfg.high_watermark {
+            2
+        } else {
+            u64::from(backlog > self.cfg.low_watermark)
+        };
+        self.recorder
+            .window_backlog(self.core.clock(), backlog as u64, band);
+        if let Some(ops) = self.store.as_ref().map(|s| s.ops()) {
+            self.recorder
+                .set_at_least(Counter::CheckpointRetries, ops.retries);
         }
     }
 
@@ -405,12 +503,26 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
         // next trigger; the failure is counted for the operator.
         if self.checkpoint_now().is_err() {
             self.checkpoint_failures += 1;
+            self.recorder.incr(Counter::CheckpointFailures);
         }
     }
 
     /// Persist the current state as a new checkpoint generation. No-op
     /// (`Ok(None)`) without a store.
     pub fn checkpoint_now(&mut self) -> Result<Option<u64>, CheckpointError> {
+        if self.store.is_some() {
+            // Traced *before* the snapshot is captured so the carried
+            // trace sequence counts this record — a recovery replay
+            // resumes past it instead of reusing its number. On a save
+            // failure the optimistic record stays, paired with a
+            // `checkpoint_failures` increment.
+            self.recorder.trace(
+                self.core.clock(),
+                TraceEvent::CheckpointWritten {
+                    lines: self.lines_consumed,
+                },
+            );
+        }
         let ckpt = DaemonCheckpoint {
             lines_consumed: self.lines_consumed,
             engaged: self.engaged,
@@ -424,6 +536,7 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
         let gen = store.save(&ckpt)?;
         self.events_since_ckpt = 0;
         self.last_ckpt_clock = Some(self.core.clock());
+        self.recorder.incr(Counter::CheckpointsWritten);
         Ok(Some(gen))
     }
 
@@ -456,6 +569,17 @@ impl<'a, D: SnapshotDispatcher + DegradableDispatcher> Daemon<'a, D> {
     /// Live KPI report over the state so far (the `--kpis` query).
     pub fn kpi_report(&self) -> KpiReport {
         self.core.kpis().report(self.core.measurements())
+    }
+
+    /// Live telemetry for the `#metrics` control line: the KPI report
+    /// plus a deterministic snapshot of the observability registry
+    /// (counters, gauges, per-stage latency percentiles, windowed
+    /// KPIs, trace-journal position).
+    pub fn metrics_report(&self) -> MetricsReport {
+        MetricsReport {
+            kpis: self.kpi_report(),
+            obs: self.recorder.snapshot(),
+        }
     }
 
     /// Input lines consumed so far (the resume cursor).
@@ -699,6 +823,50 @@ mod tests {
             out.measurements.total_orders,
             out.ingest.admitted - out.robustness.shed
         );
+    }
+
+    #[test]
+    fn metrics_alone_reconcile_admitted_dispatched_and_shed() {
+        let cfg = DaemonConfig {
+            policy: BackpressurePolicy::Shed,
+            high_watermark: 1,
+            low_watermark: 0,
+            ..DaemonConfig::default()
+        };
+        let orders: Vec<Order> = (0..10u32).map(|i| order(i, 0)).collect();
+        let mut d = daemon(cfg, None);
+        d.set_recorder(Recorder::enabled());
+        d.feed_line("definitely not json");
+        for line in fault_lines(&orders, &FaultPlan::NONE) {
+            assert!(!matches!(d.feed_line(&line), FeedOutcome::Crashed));
+        }
+        d.close_and_drain();
+        let rec = d.recorder().clone();
+        let out = d.finish();
+        // The registry alone must reconcile the pipeline: every validated
+        // admission either reached the core or was shed, no third fate.
+        let admitted = rec.counter(Counter::OrdersAdmitted);
+        let dispatched = rec.counter(Counter::OrdersDispatched);
+        let shed = rec.counter(Counter::OrdersShed);
+        assert!(shed > 0, "watermark 1 must shed something");
+        assert_eq!(admitted, dispatched + shed);
+        // And the mirrors agree with the daemon's own accounting.
+        assert_eq!(admitted, out.ingest.admitted);
+        assert_eq!(shed, out.robustness.shed);
+        assert_eq!(rec.counter(Counter::LinesMalformed), out.ingest.malformed);
+        assert_eq!(rec.counter(Counter::LinesMalformed), 1);
+        // Terminal outcomes cover everything the core accepted.
+        assert_eq!(
+            rec.counter(Counter::OrdersServed) + rec.counter(Counter::OrdersRejected),
+            dispatched
+        );
+        // The degrade hysteresis engaged at least once and every flip
+        // journaled a trace event with monotone sequence numbers.
+        assert!(rec.counter(Counter::DegradeFlips) > 0);
+        let trace = rec.drain_trace();
+        assert!(trace.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(trace.iter().any(|r| r.event.kind() == "degrade_flip"));
+        assert!(trace.iter().any(|r| r.event.kind() == "order_shed"));
     }
 
     #[test]

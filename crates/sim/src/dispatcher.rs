@@ -14,6 +14,7 @@ use watter_core::{
     CostWeights, DispatchParallelism, Dur, Exec, Group, Measurements, Order, OrderId, OrderOutcome,
     TravelBound, Ts, WorkerId,
 };
+use watter_obs::{Counter, Recorder, Stage, TraceEvent};
 use watter_pool::{OrderPool, PoolConfig, ShardMap, SpatialPrune};
 use watter_road::GridIndex;
 use watter_strategy::{DecisionContext, DecisionPolicy, NoopObserver, PoolObserver};
@@ -184,6 +185,15 @@ pub trait Dispatcher {
 
     /// Display name for experiment tables.
     fn name(&self) -> String;
+
+    /// Attach an observability recorder. Dispatchers that have nothing
+    /// to report keep the default no-op; WATTER forwards the handle to
+    /// the pool so the hot-path stages (insert, pair prefilter, clique
+    /// search, planning) get span timings. Recording never changes
+    /// outcomes.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        let _ = recorder;
+    }
 }
 
 /// Configuration of the WATTER dispatcher.
@@ -233,6 +243,9 @@ pub struct WatterDispatcher<P, O = NoopObserver> {
     /// the dispatch snapshot (the daemon re-derives it on resume from the
     /// checkpointed hysteresis flag).
     degraded: bool,
+    /// Observability handle (disabled unless attached via
+    /// [`Dispatcher::set_recorder`]).
+    recorder: Recorder,
 }
 
 impl<P: DecisionPolicy> WatterDispatcher<P, NoopObserver> {
@@ -262,6 +275,7 @@ impl<P: DecisionPolicy, O: PoolObserver> WatterDispatcher<P, O> {
             cancel_seed: cfg.cancel_seed,
             observer,
             degraded: false,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -313,6 +327,7 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
         }
         // Algorithm 1 lines 2–4: insert into the pool, maintaining the
         // shareability graph and the best-group map.
+        let _span = self.recorder.time(Stage::PoolInsert);
         self.pool.insert(order, ctx.now, &ctx.oracle);
     }
 
@@ -360,8 +375,22 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
                     let quality = group.quality(now, ctx.weights, &ctx.oracle);
                     if self.policy.decide(group, quality, &decision_ctx) || dying {
                         let group = group.clone();
-                        match ctx.dispatch_group(&group) {
-                            Some(_) => {
+                        // Manual span: a drop-guard timer would borrow
+                        // `self.recorder` across the `&mut self` solo
+                        // fallback below.
+                        let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
+                        let committed = match ctx.dispatch_group(&group) {
+                            Some(wid) => {
+                                if group.len() >= 2 {
+                                    self.recorder.incr(Counter::GroupsFormed);
+                                    self.recorder.trace(
+                                        now,
+                                        TraceEvent::GroupFormed {
+                                            worker: wid.0 as u64,
+                                            size: group.len() as u64,
+                                        },
+                                    );
+                                }
                                 let members: Vec<OrderId> = group.order_ids().collect();
                                 for (idx, o) in group.orders.iter().enumerate() {
                                     self.observer.on_dispatch(o, group.detours[idx], now, &env);
@@ -372,7 +401,14 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
                             // No idle worker for the group: a dying order
                             // still gets a solo attempt below.
                             None => dying && self.try_solo(&order, ctx, &env),
+                        };
+                        if let Some(t0) = t0 {
+                            self.recorder.record_stage_nanos(
+                                Stage::DecisionCommit,
+                                t0.elapsed().as_nanos() as u64,
+                            );
                         }
+                        committed
                     } else {
                         false
                     }
@@ -402,6 +438,11 @@ impl<P: DecisionPolicy, O: PoolObserver> Dispatcher for WatterDispatcher<P, O> {
 
     fn name(&self) -> String {
         self.policy.name().to_string()
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.pool.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 }
 

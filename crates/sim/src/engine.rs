@@ -27,6 +27,7 @@ use std::time::Instant;
 use watter_core::{
     CostWeights, DispatchParallelism, Dur, Exec, Kpis, Measurements, Order, TravelBound, Ts, Worker,
 };
+use watter_obs::{Counter, Stage};
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -79,7 +80,32 @@ pub fn run_with_kpis<D: Dispatcher>(
     oracle: &dyn TravelBound,
     cfg: SimConfig,
 ) -> (Measurements, Kpis) {
+    run_recorded(
+        orders,
+        workers,
+        dispatcher,
+        oracle,
+        cfg,
+        watter_obs::Recorder::disabled(),
+    )
+}
+
+/// [`run_with_kpis`] with an observability recorder attached to both the
+/// core (effect-stream counters, window KPIs, trace events) and the
+/// dispatcher (hot-path stage spans). Outcomes are bit-identical to the
+/// unrecorded run — pass [`watter_obs::Recorder::disabled`] to get
+/// exactly [`run_with_kpis`].
+pub fn run_recorded<D: Dispatcher>(
+    orders: Vec<Order>,
+    workers: Vec<Worker>,
+    dispatcher: &mut D,
+    oracle: &dyn TravelBound,
+    cfg: SimConfig,
+    recorder: watter_obs::Recorder,
+) -> (Measurements, Kpis) {
     let mut core = DispatchCore::new(workers, cfg);
+    core.set_recorder(recorder.clone());
+    dispatcher.set_recorder(recorder);
     for order in orders {
         core.step(Event::Arrive(order), dispatcher, oracle);
     }
@@ -124,13 +150,48 @@ where
     D: Dispatcher,
     I: IntoIterator<Item = Order>,
 {
+    run_stream_recorded(
+        orders,
+        workers,
+        dispatcher,
+        oracle,
+        cfg,
+        ingest_cfg,
+        watter_obs::Recorder::disabled(),
+    )
+}
+
+/// [`run_stream`] with an observability recorder: ingest validation is
+/// span-timed, admission totals are mirrored into the registry at the
+/// end of the run, and the core/dispatcher record as in
+/// [`run_recorded`]. Outcomes are bit-identical to the unrecorded run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_stream_recorded<D, I>(
+    orders: I,
+    workers: Vec<Worker>,
+    dispatcher: &mut D,
+    oracle: &dyn TravelBound,
+    cfg: SimConfig,
+    ingest_cfg: IngestConfig,
+    recorder: watter_obs::Recorder,
+) -> StreamOutput
+where
+    D: Dispatcher,
+    I: IntoIterator<Item = Order>,
+{
     let mut ingest = OrderIngest::new(ingest_cfg);
     let mut core = DispatchCore::new(workers, cfg);
+    core.set_recorder(recorder.clone());
+    dispatcher.set_recorder(recorder.clone());
     for raw in orders {
         while !core.is_drained() && core.next_due().is_some_and(|due| due < raw.release) {
             core.step(Event::Check, dispatcher, oracle);
         }
-        if let Ok(order) = ingest.admit(raw, core.clock()) {
+        let admitted = {
+            let _span = recorder.time(Stage::Ingest);
+            ingest.admit(raw, core.clock())
+        };
+        if let Ok(order) = admitted {
             core.step(Event::Arrive(order), dispatcher, oracle);
         }
         ingest.observe_backlog(core.backlog() + dispatcher.pending());
@@ -140,10 +201,12 @@ where
         core.step(Event::Check, dispatcher, oracle);
     }
     let (measurements, kpis) = core.finish();
+    let stats = ingest.stats();
+    recorder.set_at_least(Counter::OrdersAdmitted, stats.admitted);
     StreamOutput {
         measurements,
         kpis,
-        ingest: ingest.stats(),
+        ingest: stats,
     }
 }
 

@@ -60,10 +60,12 @@ pub use cancel::CancellationModel;
 pub use checkpoint::{CheckpointError, CheckpointOps, CheckpointStore};
 pub use daemon::{
     fault_lines, BackpressurePolicy, Daemon, DaemonCheckpoint, DaemonConfig, DaemonError,
-    DaemonOutput, FeedOutcome,
+    DaemonOutput, FeedOutcome, MetricsReport,
 };
 pub use dispatcher::{DegradableDispatcher, Dispatcher, SimCtx, WatterConfig, WatterDispatcher};
-pub use engine::{run, run_stream, run_with_kpis, SimConfig, StreamOutput};
+pub use engine::{
+    run, run_recorded, run_stream, run_stream_recorded, run_with_kpis, SimConfig, StreamOutput,
+};
 pub use env::build_env;
 pub use fleet::Fleet;
 pub use ingest::{IngestConfig, IngestError, IngestSnapshot, IngestStats, LineError, OrderIngest};

@@ -61,6 +61,10 @@ pub struct CoreState {
     pub measurements: Measurements,
     /// KPI accumulator.
     pub kpis: Kpis,
+    /// Next trace-journal sequence number at snapshot time, so a
+    /// restored run's recorder resumes numbering where the crashed run
+    /// stopped and replayed events are never double-counted.
+    pub trace_seq: u64,
 }
 
 /// Runtime state of a dispatcher, by kind.

@@ -8,11 +8,13 @@
 //!                  [--dense-limit N] [--import PATH]
 //!                  [--cost-cache] [--threads T] [--shards S]
 //!                  [--stream] [--snapshot-roundtrip] [--kpis json|PATH]
+//!                  [--obs json|PATH] [--obs-window SECS] [--trace PATH]
 //!                  [--seed S] [--json PATH]
 //! watter-cli orders [scenario flags] [--fault-seed S] [--fault-malformed-every K]
 //!                   [--fault-delay-every K] [--fault-delay-slots N] [--out PATH]
 //! watter-cli graph [scenario flags] [--out PATH]
 //! watter-cli train [--profile nyc|cdc|xia] [--out model.json] [--steps N]
+//! watter-cli promcheck FILE
 //! ```
 //!
 //! `orders` dumps the scenario's order stream as newline-delimited JSON —
@@ -55,13 +57,29 @@
 //! rate, extra-time distribution, fleet utilization, per-tick latency
 //! percentiles) as JSON on stdout; any other value is a path to write it
 //! to.
+//!
+//! `--obs` turns on the observability registry and emits the combined
+//! metrics report (KPIs + counters, per-stage latency percentiles,
+//! windowed KPIs) as JSON — to stdout with `--obs json`, else to the
+//! given path. `--trace PATH` (implies `--obs`) appends the structured
+//! event journal to `PATH` as JSON lines, one record per line. The stat
+//! block on stdout is bit-identical with or without these flags: only
+//! wall-clock stage timings differ run to run.
+//!
+//! `promcheck FILE` validates a Prometheus text-exposition file (such as
+//! the `.prom` file `watter-daemon` writes for a `#metrics` control
+//! line) with the crate's own parser, exiting non-zero if any line is
+//! malformed.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use watter::cli::{fault_plan_of, params_of, parse_flags, print_stats};
+use watter::cli::{
+    append_trace_jsonl, fault_plan_of, params_of, parse_flags, print_stats, recorder_of,
+};
 use watter::prelude::*;
 use watter::road::{export_graph, import_graph};
-use watter::runner::{run_full, Algo, DriveMode};
+use watter::runner::{run_full_recorded, Algo, DriveMode};
+use watter::sim::MetricsReport;
 
 /// Build the scenario: on the profile's synthetic city by default, or —
 /// with `--import PATH` — on a road network loaded from the plain-text
@@ -121,7 +139,8 @@ fn cmd_run(flags: HashMap<String, String>) {
     } else {
         DriveMode::Batch
     };
-    let out = run_full(&scenario, algo, mode).unwrap_or_else(|e| {
+    let recorder = recorder_of(&flags);
+    let out = run_full_recorded(&scenario, algo, mode, recorder.clone()).unwrap_or_else(|e| {
         eprintln!("run failed: {e}");
         std::process::exit(1);
     });
@@ -152,6 +171,28 @@ fn cmd_run(flags: HashMap<String, String>) {
             std::fs::write(dest, s).expect("write kpis");
             eprintln!("wrote {dest}");
         }
+    }
+    if let Some(dest) = flags.get("obs") {
+        // Same shape the daemon's `#metrics` control line emits: the
+        // KPI report plus the full registry snapshot (counters, gauges,
+        // per-stage latency percentiles, windowed KPIs).
+        let report = MetricsReport {
+            kpis: out.kpi_report(),
+            obs: recorder.snapshot(),
+        };
+        let s = serde_json::to_string_pretty(&report).expect("serialize metrics");
+        if dest == "json" || dest == "true" {
+            println!("{s}");
+        } else {
+            std::fs::write(dest, s).expect("write metrics");
+            eprintln!("wrote {dest}");
+        }
+    }
+    if let Some(path) = flags.get("trace") {
+        let records = recorder.drain_trace();
+        let n = records.len();
+        append_trace_jsonl(path, &records).expect("write trace");
+        eprintln!("wrote {path} ({n} trace records)");
     }
 }
 
@@ -223,6 +264,22 @@ fn cmd_train(flags: HashMap<String, String>) {
     println!("saved value function to {out}");
 }
 
+/// Validate a Prometheus text-exposition file with the same parser the
+/// test suite uses — the CI hook for the daemon's `#metrics` output.
+fn cmd_promcheck(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("read {path}: {e}");
+        std::process::exit(1);
+    });
+    match watter::obs::parse_prometheus(&text) {
+        Ok(samples) => println!("{path}: ok, {samples} samples"),
+        Err(e) => {
+            eprintln!("{path}: invalid Prometheus exposition: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
@@ -230,9 +287,10 @@ fn main() {
         Some("orders") => cmd_orders(parse_flags(&args[1..])),
         Some("graph") => cmd_graph(parse_flags(&args[1..])),
         Some("train") => cmd_train(parse_flags(&args[1..])),
+        Some("promcheck") if args.len() == 2 => cmd_promcheck(&args[1]),
         _ => {
             eprintln!(
-                "usage: watter-cli <run|orders|graph|train> [--flags]  (see --help in source)"
+                "usage: watter-cli <run|orders|graph|train|promcheck> [--flags]  (see --help in source)"
             );
             std::process::exit(2);
         }

@@ -14,6 +14,7 @@
 //!               [--high-watermark N] [--low-watermark N]
 //!               [--fault-crash-after K] [--fault-corrupt torn|bitflip]
 //!               [--fault-io-failures N]
+//!               [--no-obs] [--obs-window SECS] [--trace PATH]
 //!               [--json PATH] [--kpis PATH]
 //! ```
 //!
@@ -27,9 +28,20 @@
 //! Control lines on the input stream (prefix `#`):
 //!
 //! * `#kpis PATH` — write the live KPI report as JSON to `PATH`;
+//! * `#metrics PATH` — write the live metrics report (KPIs + counters,
+//!   per-stage latency percentiles, windowed KPIs) as JSON to `PATH`
+//!   *and* the Prometheus text exposition to `PATH.prom`; with no path,
+//!   print the JSON to stdout;
 //! * `#checkpoint` — checkpoint immediately;
 //! * `#close` — treat as end of input (useful over sockets, where the
 //!   listener outlives any one client).
+//!
+//! The observability registry is on by default (`--no-obs` disables
+//! it; `--obs-window` sets the windowed-KPI width in virtual seconds).
+//! `--trace PATH` appends the structured event journal to `PATH` as
+//! JSON lines, flushed while idle and on every control line; a resumed
+//! daemon continues the sequence numbering its checkpoint carried, so
+//! replayed events re-emit the *same* `seq` — consumers dedup by it.
 //!
 //! `SIGTERM` triggers a final checkpoint, a clean close-and-drain, the
 //! stat block, exit 0. An injected crash (`--fault-crash-after`) exits
@@ -43,10 +55,11 @@ use std::io::{BufRead, BufReader, Read};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
-use watter::cli::{fault_plan_of, params_of, parse_flags, print_stats};
+use watter::cli::{append_trace_jsonl, fault_plan_of, params_of, parse_flags, print_stats};
 use watter::runner::{sim_config, sim_oracle, watter_config};
 use watter_baselines::NonSharingDispatcher;
 use watter_core::{FaultPlan, RunStats, TravelBound};
+use watter_obs::{render_prometheus, Recorder};
 use watter_sim::{
     BackpressurePolicy, CheckpointError, CheckpointStore, Daemon, DaemonConfig, DaemonError,
     DegradableDispatcher, FeedOutcome, IngestConfig, SnapshotDispatcher, WatterDispatcher,
@@ -57,6 +70,29 @@ use watter_workload::Scenario;
 /// Exit code of an injected crash — distinguishable from real failures
 /// so scripted harnesses can assert the fault actually fired.
 const CRASH_EXIT: i32 = 42;
+
+/// The daemon's recorder: on by default (a long-lived service wants
+/// its registry populated before anyone asks), `--no-obs` turns it
+/// off, `--obs-window SECS` overrides the windowed-KPI width.
+fn daemon_recorder(flags: &HashMap<String, String>) -> Recorder {
+    if flags.get("no-obs").map(|s| s.as_str()) == Some("true") {
+        return Recorder::disabled();
+    }
+    match flags.get("obs-window").and_then(|s| s.parse().ok()) {
+        Some(secs) => Recorder::enabled_with_windows(secs),
+        None => Recorder::enabled(),
+    }
+}
+
+/// Drain the trace journal into the `--trace` file (no-op without the
+/// flag). Called while the loop is idle and on every control line, so
+/// the journal's bounded ring rarely overflows.
+fn flush_trace(recorder: &Recorder, path: Option<&String>) {
+    let Some(path) = path else { return };
+    if let Err(e) = append_trace_jsonl(path, &recorder.drain_trace()) {
+        eprintln!("write trace {path}: {e}");
+    }
+}
 
 /// Set by the SIGTERM handler; the event loop polls it between lines.
 static TERM: AtomicBool = AtomicBool::new(false);
@@ -216,6 +252,11 @@ fn serve<D: SnapshotDispatcher + DegradableDispatcher>(
     } else {
         fresh(open_store())
     };
+    // Attach after (possible) resume: the checkpoint carries the trace
+    // journal's next sequence number, and `set_recorder` resumes
+    // numbering from it.
+    daemon.set_recorder(daemon_recorder(flags));
+    let trace_path = flags.get("trace").cloned();
 
     // On resume the daemon has already consumed a prefix of the stream;
     // the host re-feeds the whole input, so skip that many data lines.
@@ -231,10 +272,15 @@ fn serve<D: SnapshotDispatcher + DegradableDispatcher>(
         }
         let line = match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(line) => line,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Idle tick: a live tail of the trace file stays fresh.
+                flush_trace(daemon.recorder(), trace_path.as_ref());
+                continue;
+            }
             Err(mpsc::RecvTimeoutError::Disconnected) => break 'serve, // EOF
         };
         if let Some(ctl) = line.strip_prefix('#') {
+            flush_trace(daemon.recorder(), trace_path.as_ref());
             let mut words = ctl.split_whitespace();
             match words.next() {
                 Some("kpis") => {
@@ -245,6 +291,25 @@ fn serve<D: SnapshotDispatcher + DegradableDispatcher>(
                         Some(path) => {
                             if let Err(e) = std::fs::write(path, json) {
                                 eprintln!("write kpis {path}: {e}");
+                            }
+                        }
+                        None => println!("{json}"),
+                    }
+                }
+                Some("metrics") => {
+                    let report = daemon.metrics_report();
+                    let json =
+                        serde_json::to_string_pretty(&report).expect("metrics report serializes");
+                    match words.next() {
+                        Some(path) => {
+                            if let Err(e) = std::fs::write(path, json) {
+                                eprintln!("write metrics {path}: {e}");
+                            }
+                            let prom_path = format!("{path}.prom");
+                            if let Err(e) =
+                                std::fs::write(&prom_path, render_prometheus(&report.obs))
+                            {
+                                eprintln!("write metrics {prom_path}: {e}");
                             }
                         }
                         None => println!("{json}"),
@@ -281,6 +346,7 @@ fn serve<D: SnapshotDispatcher + DegradableDispatcher>(
     if let Err(e) = daemon.checkpoint_now() {
         eprintln!("final checkpoint failed: {e}");
     }
+    flush_trace(daemon.recorder(), trace_path.as_ref());
     let robustness = daemon.robustness();
     let ops = daemon.store_ops();
     let out = daemon.finish();

@@ -27,6 +27,7 @@
 pub use watter_baselines as baselines;
 pub use watter_core as core;
 pub use watter_learn as learn;
+pub use watter_obs as obs;
 pub use watter_pool as pool;
 pub use watter_road as road;
 pub use watter_sim as sim;
@@ -47,6 +48,7 @@ pub mod prelude {
         TravelCost, Worker,
     };
     pub use watter_learn::{Gmm, GmmThresholdProvider, ValueFunction};
+    pub use watter_obs::{ObsSnapshot, Recorder, TraceEvent, TraceRecord};
     pub use watter_road::{AltOracle, CityConfig, CityOracle, CostMatrix, GridIndex, RoadGraph};
     pub use watter_sim::{
         DispatchCore, DispatchSnapshot, Dispatcher, Effect, Event, IngestConfig, IngestStats,

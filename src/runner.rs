@@ -10,11 +10,12 @@ use std::sync::Arc;
 use watter_baselines::{GasConfig, GasDispatcher, GdpConfig, GdpDispatcher, NonSharingDispatcher};
 use watter_core::{CostWeights, Kpis, Measurements, OracleCacheKpis, RunStats, TravelBound};
 use watter_learn::ValueFunction;
+use watter_obs::{Counter, Recorder};
 use watter_pool::{cliques::CliqueLimits, PlanLimits, PoolConfig, SpatialPrune};
-use watter_road::{CachedOracle, CityOracle};
+use watter_road::{stage_for_backend, CachedOracle, CityOracle, ObservedOracle};
 use watter_sim::{
-    run_stream, run_with_kpis, DispatchCore, DispatchSnapshot, Dispatcher, Event, IngestConfig,
-    IngestStats, SimConfig, SnapshotDispatcher, WatterConfig, WatterDispatcher,
+    run_recorded, run_stream_recorded, DispatchCore, DispatchSnapshot, Dispatcher, Event,
+    IngestConfig, IngestStats, SimConfig, SnapshotDispatcher, WatterConfig, WatterDispatcher,
 };
 use watter_strategy::{DecisionPolicy, OnlinePolicy, ThresholdPolicy, TimeoutPolicy};
 use watter_workload::Scenario;
@@ -167,6 +168,15 @@ impl SimOracle {
         }
     }
 
+    /// Attach a recorder to the cache layer (sampled hit/miss latency
+    /// stages plus eviction trace events). No-op on the plain oracle,
+    /// whose latency probe is [`ObservedOracle`], applied by the runner.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        if let SimOracle::Cached(c) = self {
+            c.set_recorder(recorder);
+        }
+    }
+
     /// Cache hit/miss/evict counters, when the cache is active.
     pub fn cache_stats(&self) -> Option<OracleCacheKpis> {
         match self {
@@ -197,12 +207,14 @@ fn drive_plain<D: Dispatcher>(
     oracle: &dyn TravelBound,
     dispatcher: &mut D,
     mode: DriveMode,
+    recorder: &Recorder,
 ) -> Result<RunOutput, String> {
     let orders = scenario.orders.clone();
     let workers = scenario.workers.clone();
     match mode {
         DriveMode::Batch => {
-            let (measurements, kpis) = run_with_kpis(orders, workers, dispatcher, oracle, cfg);
+            let (measurements, kpis) =
+                run_recorded(orders, workers, dispatcher, oracle, cfg, recorder.clone());
             Ok(RunOutput {
                 measurements,
                 kpis,
@@ -212,7 +224,15 @@ fn drive_plain<D: Dispatcher>(
         }
         DriveMode::Stream => {
             let ingest_cfg = IngestConfig::for_nodes(scenario.graph.node_count());
-            let out = run_stream(orders, workers, dispatcher, oracle, cfg, ingest_cfg);
+            let out = run_stream_recorded(
+                orders,
+                workers,
+                dispatcher,
+                oracle,
+                cfg,
+                ingest_cfg,
+                recorder.clone(),
+            );
             Ok(RunOutput {
                 measurements: out.measurements,
                 kpis: out.kpis,
@@ -235,9 +255,10 @@ fn drive_snap<D: SnapshotDispatcher>(
     oracle: &dyn TravelBound,
     make: impl Fn() -> D,
     mode: DriveMode,
+    recorder: &Recorder,
 ) -> Result<RunOutput, String> {
     if mode != DriveMode::SnapshotRoundtrip {
-        return drive_plain(scenario, cfg, oracle, &mut make(), mode);
+        return drive_plain(scenario, cfg, oracle, &mut make(), mode, recorder);
     }
     // Interleave arrivals with due checks so the snapshot lands mid-run
     // with a genuine tail (pending pool state *and* undelivered
@@ -250,7 +271,9 @@ fn drive_snap<D: SnapshotDispatcher>(
         .map(|(f, l)| (f.release + l.release) / 2)
         .unwrap_or(0);
     let mut dispatcher = make();
+    dispatcher.set_recorder(recorder.clone());
     let mut core = DispatchCore::new(scenario.workers.clone(), cfg);
+    core.set_recorder(recorder.clone());
     let mut tail = Vec::new();
     let mut snapped: Option<DispatchSnapshot> = None;
     for order in orders {
@@ -278,8 +301,13 @@ fn drive_snap<D: SnapshotDispatcher>(
         serde_json::from_str(&json).map_err(|e| format!("snapshot parse: {e:?}"))?;
 
     let mut dispatcher = make();
+    dispatcher.set_recorder(recorder.clone());
     let mut core = DispatchCore::restore(&snap, &mut dispatcher)
         .map_err(|e| format!("snapshot restore: {e}"))?;
+    // Re-attach after restore: the snapshot carries the journal's next
+    // sequence number, so the resumed half keeps numbering where the
+    // first half stopped.
+    core.set_recorder(recorder.clone());
     for order in tail {
         while !core.is_drained() && core.next_due().is_some_and(|due| due < order.release) {
             core.step(Event::Check, &mut dispatcher, oracle);
@@ -305,15 +333,47 @@ fn drive_snap<D: SnapshotDispatcher>(
 /// ([`DriveMode::SnapshotRoundtrip`] with GDP/GAS, whose schedule state
 /// is not serializable) or a snapshot fails to round-trip.
 pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunOutput, String> {
+    run_full_recorded(scenario, algo, mode, Recorder::disabled())
+}
+
+/// [`run_full`] with an observability recorder attached to every layer
+/// (core, dispatcher, pool, oracle). The caller keeps the handle:
+/// `recorder.snapshot()` after the run exposes counters, per-stage
+/// latency percentiles and windowed KPIs; `recorder.drain_trace()`
+/// yields the structured event journal. Passing
+/// [`Recorder::disabled`] is exactly [`run_full`] — every hook
+/// short-circuits and no probe wrapper is installed, so the disabled
+/// path pays nothing.
+pub fn run_full_recorded(
+    scenario: &Scenario,
+    algo: Algo,
+    mode: DriveMode,
+    recorder: Recorder,
+) -> Result<RunOutput, String> {
     let cfg = sim_config(scenario);
-    let sim_oracle = sim_oracle(scenario);
-    let oracle = sim_oracle.as_dyn();
+    let mut sim_oracle = sim_oracle(scenario);
+    sim_oracle.set_recorder(recorder.clone());
+    // Sampled point-query latency probe, installed only when recording
+    // and only on the uncached oracle (the cache layer times its own
+    // hit/miss stages). Answers are unchanged either way.
+    let observed;
+    let oracle: &dyn TravelBound = match &sim_oracle {
+        SimOracle::Plain(o) if recorder.is_enabled() => {
+            let backend = scenario.oracle.describe();
+            let backend = backend.split('[').next().unwrap_or_default();
+            observed =
+                ObservedOracle::new(Arc::clone(o), recorder.clone(), stage_for_backend(backend));
+            &observed
+        }
+        _ => sim_oracle.as_dyn(),
+    };
     fn watter<P: DecisionPolicy>(
         scenario: &Scenario,
         cfg: SimConfig,
         oracle: &dyn TravelBound,
         make_policy: impl Fn() -> P,
         mode: DriveMode,
+        recorder: &Recorder,
     ) -> Result<RunOutput, String> {
         drive_snap(
             scenario,
@@ -321,12 +381,13 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
             oracle,
             || WatterDispatcher::new(watter_config(scenario), make_policy()),
             mode,
+            recorder,
         )
     }
     let out = match algo {
         Algo::Gdp => {
             let mut d = GdpDispatcher::new(GdpConfig::default(), &scenario.workers);
-            drive_plain(scenario, cfg, oracle, &mut d, mode)
+            drive_plain(scenario, cfg, oracle, &mut d, mode, &recorder)
         }
         Algo::Gas => {
             let mut d = GasDispatcher::new(GasConfig {
@@ -334,10 +395,17 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
                 max_group_size: scenario.params.max_capacity as usize,
                 beam_width: 8,
             });
-            drive_plain(scenario, cfg, oracle, &mut d, mode)
+            drive_plain(scenario, cfg, oracle, &mut d, mode, &recorder)
         }
-        Algo::NonSharing => drive_snap(scenario, cfg, oracle, NonSharingDispatcher::new, mode),
-        Algo::WatterOnline => watter(scenario, cfg, oracle, || OnlinePolicy, mode),
+        Algo::NonSharing => drive_snap(
+            scenario,
+            cfg,
+            oracle,
+            NonSharingDispatcher::new,
+            mode,
+            &recorder,
+        ),
+        Algo::WatterOnline => watter(scenario, cfg, oracle, || OnlinePolicy, mode, &recorder),
         Algo::WatterTimeout => watter(
             scenario,
             cfg,
@@ -346,6 +414,7 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
                 check_period: cfg.check_period,
             },
             mode,
+            &recorder,
         ),
         Algo::WatterExpectGmm(gmm) => watter(
             scenario,
@@ -356,6 +425,7 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
                 ThresholdPolicy::new(provider, cfg.check_period)
             },
             mode,
+            &recorder,
         ),
         Algo::WatterExpectValue(vf) => watter(
             scenario,
@@ -363,6 +433,7 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
             oracle,
             || ThresholdPolicy::new(ArcProvider(Arc::clone(&vf)), cfg.check_period),
             mode,
+            &recorder,
         ),
         Algo::WatterConstant(theta) => watter(
             scenario,
@@ -370,6 +441,7 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
             oracle,
             || ThresholdPolicy::new(watter_strategy::ConstantThreshold(theta), cfg.check_period),
             mode,
+            &recorder,
         ),
         Algo::WatterOnlineCancel(model) => drive_snap(
             scenario,
@@ -381,12 +453,20 @@ pub fn run_full(scenario: &Scenario, algo: Algo, mode: DriveMode) -> Result<RunO
                 WatterDispatcher::new(wcfg, OnlinePolicy)
             },
             mode,
+            &recorder,
         ),
     };
     // Attach the cache counters observed during the run (None when the
-    // cost cache was off).
+    // cost cache was off), and mirror the exact totals into the
+    // registry — the sampled hit/miss latency stages only see 1 in
+    // `SAMPLE_EVERY` queries.
     out.map(|mut out| {
         out.cache = sim_oracle.cache_stats();
+        if let Some(c) = out.cache {
+            recorder.set_at_least(Counter::CacheHits, c.hits);
+            recorder.set_at_least(Counter::CacheMisses, c.misses);
+            recorder.set_at_least(Counter::CacheEvictions, c.evictions);
+        }
         out
     })
 }

@@ -218,6 +218,119 @@ fn shed_and_degrade_counts_reconcile_after_recovery() {
     }
 }
 
+/// The `--trace` recovery contract, end to end at the daemon level: a
+/// killed daemon's drained journal plus the resumed daemon's journal —
+/// the resumed half on a *fresh* recorder, seeded only by the sequence
+/// number its checkpoint carried — deduplicated by `seq`, equals the
+/// uninterrupted run's journal bit for bit. Replayed events re-emit
+/// the same sequence numbers as the originals, so stitching never
+/// double-counts.
+#[test]
+fn trace_journal_survives_kill_restore_replay() {
+    use std::collections::BTreeMap;
+    use watter::prelude::{Recorder, TraceRecord};
+    use watter::runner::{sim_config, watter_config};
+    use watter_sim::{
+        fault_lines, CheckpointStore, Daemon, DaemonConfig, FeedOutcome, IngestConfig,
+        WatterDispatcher,
+    };
+    use watter_strategy::OnlinePolicy;
+
+    let scenario = scenario(0, 11, 90);
+    let lines = fault_lines(&scenario.orders, &FaultPlan::NONE);
+    let sim = sim_config(&scenario);
+    let ingest_cfg = IngestConfig::for_nodes(scenario.graph.node_count());
+    let oracle = scenario.oracle.as_ref();
+    let make = || WatterDispatcher::new(watter_config(&scenario), OnlinePolicy);
+    let cfg = |fault| DaemonConfig {
+        checkpoint_every_events: 8,
+        fault,
+        ..DaemonConfig::default()
+    };
+    let open = |tag: &str, wipe: bool| {
+        let dir = ckpt_dir(tag);
+        if wipe {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        CheckpointStore::open(&dir, 3, FaultPlan::NONE).expect("open store")
+    };
+
+    // Reference: uninterrupted, with its own store so checkpoint trace
+    // events land at the same line counts as in the killed run.
+    let mut reference = Daemon::new(
+        scenario.workers.clone(),
+        sim,
+        make(),
+        oracle,
+        ingest_cfg,
+        cfg(FaultPlan::NONE),
+        Some(open("trace_ref", true)),
+    );
+    reference.set_recorder(Recorder::enabled());
+    for line in &lines {
+        assert!(!matches!(reference.feed_line(line), FeedOutcome::Crashed));
+    }
+    reference.close_and_drain();
+    let expected = reference.recorder().drain_trace();
+    assert!(!expected.is_empty(), "degenerate scenario");
+
+    // The kill: crash after line 21 — past the checkpoint at 16 but not
+    // on a checkpoint boundary, so recovery replays lines 17..=21 and
+    // re-emits their trace events.
+    let mut crashed = Daemon::new(
+        scenario.workers.clone(),
+        sim,
+        make(),
+        oracle,
+        ingest_cfg,
+        cfg(FaultPlan::crash_at(21, None)),
+        Some(open("trace_kill", true)),
+    );
+    crashed.set_recorder(Recorder::enabled());
+    let mut died = false;
+    for line in &lines {
+        if matches!(crashed.feed_line(line), FeedOutcome::Crashed) {
+            died = true;
+            break;
+        }
+    }
+    assert!(died, "fault plan must fire");
+    // What a `--trace` tail had flushed before the power cut.
+    let part1 = crashed.recorder().drain_trace();
+    drop(crashed);
+
+    let mut recovered = Daemon::resume(
+        open("trace_kill", false),
+        make(),
+        oracle,
+        ingest_cfg,
+        cfg(FaultPlan::NONE),
+    )
+    .expect("resume")
+    .expect("a checkpoint predates the crash");
+    // Fresh recorder, attached *after* restore: it resumes numbering
+    // from the checkpoint's carried sequence, not from zero.
+    recovered.set_recorder(Recorder::enabled());
+    let skip = recovered.lines_consumed() as usize;
+    assert!(skip > 0 && skip < 21, "crash must outrun a checkpoint");
+    for line in &lines[skip..] {
+        assert!(!matches!(recovered.feed_line(line), FeedOutcome::Crashed));
+    }
+    recovered.close_and_drain();
+    let part2 = recovered.recorder().drain_trace();
+
+    // Stitch by sequence number. A seq seen twice (the replayed
+    // overlap) must carry the identical record.
+    let mut by_seq: BTreeMap<u64, TraceRecord> = BTreeMap::new();
+    for rec in part1.into_iter().chain(part2) {
+        if let Some(prev) = by_seq.insert(rec.seq, rec.clone()) {
+            assert_eq!(prev, rec, "conflicting records under one seq");
+        }
+    }
+    let stitched: Vec<TraceRecord> = by_seq.into_values().collect();
+    assert_eq!(stitched, expected);
+}
+
 /// With no process faults scheduled the chaos harness degenerates to two
 /// identical uninterrupted runs — a sanity anchor for the suite.
 #[test]
